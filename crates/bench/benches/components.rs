@@ -1,0 +1,139 @@
+//! Micro-benchmarks of the hot components: the event queue, the PFC
+//! predictor, Algorithm 1, the LB schemes' per-packet decisions, workload
+//! sampling and the metrics kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rlb_core::{algorithm1, PfcPredictor, RlbConfig};
+use rlb_engine::{substream, EventQueue, SimTime};
+use rlb_lb::{build, Ctx, PathInfo, Scheme};
+use rlb_workloads::SizeCdf;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime(i * 37 % 4096), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("core/pfc_predictor_sample", |b| {
+        let mut p = PfcPredictor::new(64_000, 256_000, 4_000_000);
+        let mut t = 0u64;
+        let mut q = 0u64;
+        b.iter(|| {
+            t += 2_000_000;
+            q = (q + 13_000) % 300_000;
+            black_box(p.on_sample(t, q))
+        })
+    });
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let paths: Vec<PathInfo> = (0..12)
+        .map(|i| PathInfo {
+            warned: i % 3 == 0,
+            rtt_ns: 10_000.0 + i as f64 * 500.0,
+            queue_bytes: (i * 10_000) as u64,
+            ..PathInfo::idle()
+        })
+        .collect();
+    let ctx = Ctx {
+        now_ps: 0,
+        flow_id: 1,
+        dst_leaf: 0,
+        seq: 0,
+        pkt_bytes: 1000,
+        paths: &paths,
+    };
+    let cfg = RlbConfig::default();
+    c.bench_function("core/algorithm1_decision_12paths", |b| {
+        b.iter(|| black_box(algorithm1(black_box(0), &ctx, &cfg, 0)))
+    });
+}
+
+fn bench_lb_selection(c: &mut Criterion) {
+    let paths: Vec<PathInfo> = (0..12)
+        .map(|i| PathInfo {
+            rtt_ns: 10_000.0 + i as f64 * 100.0,
+            queue_bytes: (i * 5_000) as u64,
+            ..PathInfo::idle()
+        })
+        .collect();
+    let mut group = c.benchmark_group("lb/select_12paths");
+    for scheme in [Scheme::Ecmp, Scheme::Presto, Scheme::LetFlow, Scheme::Hermes, Scheme::Drill] {
+        group.bench_function(scheme.name(), |b| {
+            let mut lb = build(scheme, 1000, substream(1, b"bench", scheme as u64));
+            let mut seq = 0u32;
+            b.iter(|| {
+                seq = seq.wrapping_add(1);
+                let ctx = Ctx {
+                    now_ps: seq as u64 * 200_000,
+                    flow_id: (seq % 64) as u64,
+                    dst_leaf: 0,
+                    seq,
+                    pkt_bytes: 1000,
+                    paths: &paths,
+                };
+                black_box(lb.select(&ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_sampling(c: &mut Criterion) {
+    c.bench_function("workloads/web_search_sample", |b| {
+        let cdf = SizeCdf::web_search();
+        let mut rng = substream(3, b"bench-cdf", 0);
+        b.iter(|| black_box(cdf.sample(&mut rng)))
+    });
+}
+
+fn bench_gbn(c: &mut Criterion) {
+    c.bench_function("transport/gbn_sender_cycle", |b| {
+        b.iter(|| {
+            let mut tx = rlb_transport::GbnSender::new(64);
+            let mut rx = rlb_transport::GbnReceiver::new(64);
+            while let Some(psn) = tx.take_next() {
+                if let rlb_transport::RxAction::Deliver { ack_psn } = rx.on_packet(psn) {
+                    tx.on_ack(ack_psn);
+                }
+            }
+            black_box(tx.is_complete())
+        })
+    });
+}
+
+fn bench_percentile(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 2654435761u64) % 100_000) as f64)
+        .collect();
+    c.bench_function("metrics/percentile_10k", |b| {
+        b.iter(|| black_box(rlb_metrics::percentile(&samples, 0.99)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_event_queue, bench_predictor, bench_algorithm1,
+              bench_lb_selection, bench_workload_sampling, bench_gbn,
+              bench_percentile
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation harness for the implementation choices DESIGN.md documents on
+//! top of the paper's Algorithm 1:
+//!
+//!   1. per-flow reroute stickiness (vs. pure per-packet re-decision),
+//!   2. queue-first vs. RTT-first suboptimal-path selection,
+//!   3. recirculation budget (2 vs. the default 8),
+//!   4. warning lifetime (short 3Δt vs. the default 10Δt),
+//!   5. recirculating when every path is warned.
+//!
+//! Each variant runs the Fig. 2 motivation scenario under DRILL+RLB and
+//! reports the measured background flows.
+//!
+//! ```sh
+//! cargo run --release -p rlb-bench --bin ablations
+//! ```
+
+use rlb_bench::figures::common::{run_variant, RunRow};
+use rlb_core::{RlbConfig, SuboptimalPolicy};
+use rlb_engine::SimTime;
+use rlb_lb::Scheme;
+use rlb_metrics::{ms, Table};
+use rlb_net::scenario::{motivation, MotivationConfig};
+
+fn base_scenario() -> MotivationConfig {
+    MotivationConfig {
+        n_paths: 40,
+        n_background: 24,
+        background_load: 0.2,
+        congested_flow_bytes: 30_000_000,
+        horizon: SimTime::from_ms(3),
+        ..MotivationConfig::default()
+    }
+}
+
+fn main() {
+    let variants: Vec<(&str, Option<RlbConfig>)> = vec![
+        ("vanilla (no RLB)", None),
+        ("RLB default", Some(RlbConfig::default())),
+        (
+            "RLB, no sticky reroutes",
+            Some(RlbConfig {
+                sticky_reroutes: false,
+                ..RlbConfig::default()
+            }),
+        ),
+        (
+            "RLB, RTT-first suboptimal",
+            Some(RlbConfig {
+                suboptimal_policy: SuboptimalPolicy::RttFirst,
+                ..RlbConfig::default()
+            }),
+        ),
+        (
+            "RLB, recirc budget 2",
+            Some(RlbConfig {
+                max_recirculations: 2,
+                ..RlbConfig::default()
+            }),
+        ),
+        (
+            "RLB, short warn lifetime (3dt)",
+            Some(RlbConfig {
+                warn_lifetime_ps: 3 * 2_000_000,
+                ..RlbConfig::default()
+            }),
+        ),
+        (
+            "RLB, recirc when all warned",
+            Some(RlbConfig {
+                recirculate_when_all_warned: true,
+                ..RlbConfig::default()
+            }),
+        ),
+        (
+            "RLB, no recirculation",
+            Some(RlbConfig {
+                enable_recirculation: false,
+                ..RlbConfig::default()
+            }),
+        ),
+    ];
+
+    let mc = base_scenario();
+    let mut table = Table::new(vec![
+        "variant",
+        "bg_avg_fct_ms",
+        "bg_p99_fct_ms",
+        "bg_p99_ood",
+        "recirc",
+        "reroutes",
+        "unwarned",
+    ]);
+    for (label, rlb) in variants {
+        let row: RunRow = run_variant(label.to_string(), motivation(&mc, Scheme::Drill, rlb));
+        table.row(vec![
+            label.to_string(),
+            ms(row.background.avg_fct_ms),
+            ms(row.background.p99_fct_ms),
+            format!("{:.0}", row.background.p99_ood),
+            row.counters.recirculations.to_string(),
+            row.counters.reroutes.to_string(),
+            row.counters.forwards_unwarned.to_string(),
+        ]);
+    }
+    println!("Ablations over the Fig. 2 motivation scenario (DRILL, background flows)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3: PFC's impact on the four LB schemes.
+use rlb_bench::{figures::fig3, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Fig. 3 — LB schemes with vs. without PFC (motivation dumbbell, background flows)");
+    println!("scale: {scale:?}\n");
+    let rows = fig3::run(scale);
+    println!("{}", fig3::render(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 4: reordering vs. affected paths (a) and bursts (b).
+use rlb_bench::{figures::fig4, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Fig. 4(a) — out-of-order packets vs. number of affected paths");
+    println!("scale: {scale:?}\n");
+    let a = fig4::run_affected_paths(scale);
+    println!("{}", fig4::render(&a, "affected_paths"));
+    println!("Fig. 4(b) — out-of-order packets vs. number of continuous bursts\n");
+    let b = fig4::run_bursts(scale);
+    println!("{}", fig4::render(&b, "bursts"));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 6: FCT CDFs, each scheme vs. its RLB version.
+use rlb_bench::{figures::fig6, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Fig. 6 — FCT under symmetric topology, Web Search @ 60% load");
+    println!("scale: {scale:?}\n");
+    let rows = fig6::run(scale);
+    println!("{}", fig6::render(&rows));
+    if std::env::args().any(|a| a == "--cdf") {
+        for r in &rows {
+            println!("{}", fig6::render_cdf(r));
+        }
+    } else {
+        println!("(pass --cdf to dump the full CDF series)");
+    }
+}

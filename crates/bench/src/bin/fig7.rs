@@ -1,0 +1,13 @@
+//! Regenerates Fig. 7: AFCT vs. load in the asymmetric topology.
+use rlb_bench::{figures::fig7, Scale};
+use rlb_workloads::Workload;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Fig. 7 — AFCT vs. load, asymmetric topology (20% links at 10G)");
+    println!("scale: {scale:?}\n");
+    for wl in Workload::ALL {
+        let rows = fig7::run(scale, wl);
+        println!("{}", fig7::render(&rows));
+    }
+}

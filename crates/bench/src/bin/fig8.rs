@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8: incast reordering and completion time.
+use rlb_bench::{figures::fig8, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Fig. 8(a,c) — varying incast degree (total response 4MB)");
+    println!("scale: {scale:?}\n");
+    let a = fig8::run_degrees(scale);
+    println!("{}", fig8::render(&a, "degree"));
+    println!("Fig. 8(b,d) — varying total response size (degree 15)\n");
+    let b = fig8::run_response_sizes(scale);
+    println!("{}", fig8::render(&b, "response_MB"));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Fig. 9: the packet-recirculation ablation.
+use rlb_bench::{figures::fig9, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Fig. 9 — effectiveness of packet recirculation (99p FCT)");
+    println!("scale: {scale:?}\n");
+    let rows = fig9::run(scale);
+    println!("{}", fig9::render(&rows));
+}

@@ -1,0 +1,78 @@
+//! Lossless vs. lossy design points (the paper's §5 discussion made
+//! runnable): compare, under identical traffic,
+//!
+//!   1. PFC + go-back-N (the paper's lossless baseline),
+//!   2. PFC + go-back-N + RLB (the paper's contribution),
+//!   3. no PFC + go-back-N (naive lossy — GBN melts down under loss),
+//!   4. no PFC + IRN selective repeat (the abandon-PFC school).
+//!
+//! ```sh
+//! cargo run --release -p rlb-bench --bin irn_compare
+//! ```
+
+use rlb_core::RlbConfig;
+use rlb_engine::SimTime;
+use rlb_lb::Scheme;
+use rlb_metrics::{ms, FctSummary, Table};
+use rlb_net::scenario::{motivation, MotivationConfig, BACKGROUND_GROUP};
+use rlb_net::TransportMode;
+
+fn main() {
+    let mc = MotivationConfig {
+        n_paths: 40,
+        n_background: 24,
+        background_load: 0.2,
+        congested_flow_bytes: 30_000_000,
+        horizon: SimTime::from_ms(3),
+        ..MotivationConfig::default()
+    };
+
+    let mut table = Table::new(vec![
+        "design point",
+        "bg_avg_fct_ms",
+        "bg_p99_fct_ms",
+        "bg_p99_ood",
+        "pauses",
+        "drops",
+        "retx_pkts",
+    ]);
+
+    type Case = (&'static str, bool, TransportMode, Option<RlbConfig>);
+    let cases: [Case; 4] = [
+        ("PFC + go-back-N", true, TransportMode::GoBackN, None),
+        ("PFC + go-back-N + RLB", true, TransportMode::GoBackN, Some(RlbConfig::default())),
+        ("lossy + go-back-N", false, TransportMode::GoBackN, None),
+        ("lossy + IRN", false, TransportMode::SelectiveRepeat, None),
+    ];
+
+    for (label, pfc, mode, rlb) in cases {
+        let mut sc = motivation(&mc, Scheme::Drill, rlb);
+        sc.cfg.switch.pfc_enabled = pfc;
+        sc.cfg.transport.mode = mode;
+        let res = sc.run();
+        let bg: Vec<_> = res
+            .records
+            .iter()
+            .zip(res.groups.iter())
+            .filter(|(_, g)| **g == BACKGROUND_GROUP)
+            .map(|(r, _)| r.clone())
+            .collect();
+        let s = FctSummary::from_records(&bg);
+        let retx: u64 = res.records.iter().map(|r| r.retransmitted_packets()).sum();
+        table.row(vec![
+            label.to_string(),
+            ms(s.avg_fct_ms),
+            ms(s.p99_fct_ms),
+            format!("{:.0}", s.p99_ood),
+            res.counters.pause_frames.to_string(),
+            res.counters.buffer_drops.to_string(),
+            retx.to_string(),
+        ]);
+    }
+
+    println!("Lossless vs lossy design points, Fig. 2 scenario, DRILL, background flows\n");
+    println!("{}", table.render());
+    println!("Reading: go-back-N needs PFC (lossy+GBN retransmits heavily);");
+    println!("RLB fixes PFC's reordering; IRN instead tolerates the loss that");
+    println!("removing PFC admits — the two schools the paper contrasts in §5.");
+}

@@ -1,0 +1,62 @@
+//! One-minute sanity harness: the motivation scenario's three canonical
+//! rows (no PFC / PFC / PFC+RLB under DRILL). If the middle row doesn't
+//! hurt or the last row doesn't heal, something is broken.
+//!
+//! ```sh
+//! cargo run --release -p rlb-bench --bin sanity
+//! ```
+
+use rlb_core::RlbConfig;
+use rlb_engine::SimTime;
+use rlb_lb::Scheme;
+use rlb_metrics::{ms, FctSummary, Table};
+use rlb_net::scenario::{motivation, MotivationConfig, BACKGROUND_GROUP};
+
+fn main() {
+    let mc = MotivationConfig {
+        n_paths: 40,
+        n_background: 24,
+        background_load: 0.2,
+        congested_flow_bytes: 30_000_000,
+        horizon: SimTime::from_ms(3),
+        ..MotivationConfig::default()
+    };
+    let mut table = Table::new(vec![
+        "variant",
+        "bg_avg_fct_ms",
+        "bg_p99_fct_ms",
+        "bg_p99_ood",
+        "pauses",
+        "cnm",
+        "recirc",
+    ]);
+    for (label, pfc, rlb) in [
+        ("no PFC", false, None),
+        ("PFC, DRILL", true, None),
+        ("PFC, DRILL+RLB", true, Some(RlbConfig::default())),
+    ] {
+        let mut sc = motivation(&mc, Scheme::Drill, rlb);
+        sc.cfg.switch.pfc_enabled = pfc;
+        let t0 = std::time::Instant::now();
+        let res = sc.run();
+        let bg: Vec<_> = res
+            .records
+            .iter()
+            .zip(res.groups.iter())
+            .filter(|(_, g)| **g == BACKGROUND_GROUP)
+            .map(|(r, _)| r.clone())
+            .collect();
+        let s = FctSummary::from_records(&bg);
+        table.row(vec![
+            label.to_string(),
+            ms(s.avg_fct_ms),
+            ms(s.p99_fct_ms),
+            format!("{:.0}", s.p99_ood),
+            res.counters.pause_frames.to_string(),
+            res.counters.cnm_generated.to_string(),
+            res.counters.recirculations.to_string(),
+        ]);
+        eprintln!("{label}: {:?}, {} events", t0.elapsed(), res.events_processed);
+    }
+    println!("{}", table.render());
+}

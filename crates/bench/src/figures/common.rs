@@ -1,0 +1,122 @@
+//! Shared plumbing for the per-figure experiment modules.
+
+use crate::Scale;
+use rlb_core::RlbConfig;
+use rlb_lb::Scheme;
+use rlb_metrics::{FabricCounters, FctSummary, FlowRecord};
+use rlb_net::scenario::{Scenario, BACKGROUND_GROUP};
+use rlb_net::RunResult;
+
+/// A scheme variant under test.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    pub scheme: Scheme,
+    pub rlb: Option<RlbConfig>,
+}
+
+impl Variant {
+    pub fn vanilla(scheme: Scheme) -> Variant {
+        Variant { scheme, rlb: None }
+    }
+
+    pub fn with_rlb(scheme: Scheme) -> Variant {
+        Variant {
+            scheme,
+            rlb: Some(RlbConfig::default()),
+        }
+    }
+
+    pub fn label(&self) -> String {
+        match &self.rlb {
+            Some(_) => format!("{}+RLB", self.scheme.name()),
+            None => self.scheme.name().to_string(),
+        }
+    }
+
+    /// The paper's four schemes, vanilla and RLB-enhanced (8 variants).
+    pub fn all_eight() -> Vec<Variant> {
+        Scheme::PAPER_SET
+            .iter()
+            .flat_map(|&s| [Variant::vanilla(s), Variant::with_rlb(s)])
+            .collect()
+    }
+}
+
+/// One completed run, reduced to what the figures report.
+pub struct RunRow {
+    pub label: String,
+    /// Summary over all flows.
+    pub all: FctSummary,
+    /// Summary restricted to the measured background flows (motivation
+    /// scenarios tag them; empty scenarios fall back to `all`).
+    pub background: FctSummary,
+    pub counters: FabricCounters,
+    pub sim_seconds: f64,
+    /// Mean incast (group) completion time, ms; NaN without groups.
+    pub mean_group_completion_ms: f64,
+    /// FCT CDF over all completed flows, downsampled.
+    pub fct_cdf: Vec<(f64, f64)>,
+}
+
+pub fn reduce(label: String, res: RunResult) -> RunRow {
+    let bg: Vec<FlowRecord> = res
+        .records
+        .iter()
+        .zip(res.groups.iter())
+        .filter(|(_, g)| **g == BACKGROUND_GROUP)
+        .map(|(r, _)| r.clone())
+        .collect();
+    let background = if bg.is_empty() {
+        FctSummary::from_records(&res.records)
+    } else {
+        FctSummary::from_records(&bg)
+    };
+    let groups = res.group_completion_ms();
+    let mean_group = if groups.is_empty() {
+        f64::NAN
+    } else {
+        groups.iter().map(|(_, t)| t).sum::<f64>() / groups.len() as f64
+    };
+    let cdf = rlb_metrics::downsample_cdf(&rlb_metrics::fct_cdf(&res.records), 25);
+    RunRow {
+        label,
+        all: res.summary(),
+        background,
+        counters: res.counters,
+        sim_seconds: res.end_time.as_secs_f64(),
+        mean_group_completion_ms: mean_group,
+        fct_cdf: cdf,
+    }
+}
+
+pub fn run_variant(label: String, sc: Scenario) -> RunRow {
+    reduce(label, sc.run())
+}
+
+/// Per-scale knob helper.
+pub fn pick<T>(scale: Scale, quick: T, paper: T) -> T {
+    match scale {
+        Scale::Quick => quick,
+        Scale::Paper => paper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels() {
+        assert_eq!(Variant::vanilla(Scheme::Drill).label(), "DRILL");
+        assert_eq!(Variant::with_rlb(Scheme::Presto).label(), "Presto+RLB");
+        let all = Variant::all_eight();
+        assert_eq!(all.len(), 8);
+        assert!(all[0].rlb.is_none() && all[1].rlb.is_some());
+    }
+
+    #[test]
+    fn pick_by_scale() {
+        assert_eq!(pick(Scale::Quick, 1, 2), 1);
+        assert_eq!(pick(Scale::Paper, 1, 2), 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig. 3 — how PFC cripples the four load-balancing schemes.
+//!
+//! The motivation dumbbell (Fig. 2): Web-Search background f1..fn between
+//! the two leaves, continuous line-rate 64 KB bursts plus a long congested
+//! flow fc (restricted to 5 paths) aimed at one victim receiver. Each
+//! scheme runs with PFC enabled and disabled; the figure reports, for the
+//! *background* flows: (a) PFC pause rate, (b) 99th-percentile OOD,
+//! (c) average FCT, (d) 99th-percentile FCT.
+
+use super::common::{pick, run_variant, RunRow, Variant};
+use crate::{sweep::parallel_map, Scale};
+use rlb_engine::SimTime;
+use rlb_metrics::{ms, Table};
+use rlb_net::scenario::{motivation, MotivationConfig};
+
+pub struct Row {
+    pub scheme: String,
+    pub pfc: bool,
+    pub pause_rate_per_sec: f64,
+    pub p99_ood: f64,
+    pub avg_fct_ms: f64,
+    pub p99_fct_ms: f64,
+}
+
+pub fn config(scale: Scale) -> MotivationConfig {
+    MotivationConfig {
+        n_paths: 40,
+        n_background: pick(scale, 24, 100),
+        n_burst_senders: 2,
+        n_burst_senders_dst: pick(scale, 2, 3),
+        flows_per_burst: 40,
+        bursts: 2,
+        affected_paths: 5,
+        congested_flow_bytes: pick(scale, 30_000_000, 250_000_000),
+        background_load: pick(scale, 0.2, 0.3),
+        horizon: SimTime::from_ms(pick(scale, 3, 10)),
+        seed: 1,
+    }
+}
+
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mc = config(scale);
+    let cases: Vec<(Variant, bool)> = rlb_lb::Scheme::PAPER_SET
+        .iter()
+        .flat_map(|&s| [(Variant::vanilla(s), true), (Variant::vanilla(s), false)])
+        .collect();
+    parallel_map(cases, |(v, pfc)| {
+        let mut sc = motivation(&mc, v.scheme, v.rlb.clone());
+        sc.cfg.switch.pfc_enabled = pfc;
+        let row: RunRow = run_variant(v.label(), sc);
+        Row {
+            scheme: row.label.clone(),
+            pfc,
+            pause_rate_per_sec: row
+                .counters
+                .pause_rate_per_sec((row.sim_seconds * 1e12) as u64),
+            p99_ood: row.background.p99_ood,
+            avg_fct_ms: row.background.avg_fct_ms,
+            p99_fct_ms: row.background.p99_fct_ms,
+        }
+    })
+}
+
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "scheme",
+        "pfc",
+        "pause_rate/s",
+        "p99_ood_pkts",
+        "avg_fct_ms",
+        "p99_fct_ms",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.scheme.clone(),
+            if r.pfc { "on" } else { "off" }.to_string(),
+            format!("{:.0}", r.pause_rate_per_sec),
+            format!("{:.0}", r.p99_ood),
+            ms(r.avg_fct_ms),
+            ms(r.p99_fct_ms),
+        ]);
+    }
+    t.render()
+}

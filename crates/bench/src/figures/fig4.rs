@@ -1,0 +1,73 @@
+//! Fig. 4 — reordering grows with the number of PFC-affected paths (a)
+//! and with the number of continuous bursts (b).
+//!
+//! Same dumbbell as Fig. 3; sweeps the congested traffic's path fan-out
+//! (5–30 of 40) and the burst count (1–6), reporting the out-of-order
+//! packet ratio of the background flows under each vanilla scheme.
+
+use super::common::{run_variant, Variant};
+use super::fig3;
+use crate::{sweep::parallel_map, Scale};
+use rlb_lb::Scheme;
+use rlb_metrics::{pct, Table};
+use rlb_net::scenario::motivation;
+
+pub struct Row {
+    pub scheme: String,
+    /// Swept x value (affected paths or burst count).
+    pub x: u32,
+    pub ooo_ratio: f64,
+}
+
+pub const AFFECTED_PATHS: [u32; 6] = [5, 10, 15, 20, 25, 30];
+pub const BURSTS: [u32; 6] = [1, 2, 3, 4, 5, 6];
+
+pub fn run_affected_paths(scale: Scale) -> Vec<Row> {
+    let cases: Vec<(Scheme, u32)> = Scheme::PAPER_SET
+        .iter()
+        .flat_map(|&s| AFFECTED_PATHS.iter().map(move |&k| (s, k)))
+        .collect();
+    parallel_map(cases, |(scheme, k)| {
+        let mut mc = fig3::config(scale);
+        // Keep the congested traffic intense enough that even a 30-path
+        // fan-out can push every affected ingress over the PFC threshold
+        // (the paper's fc is a sustained 250 MB flow).
+        mc.n_burst_senders = 4;
+        mc.flows_per_burst = 60;
+        mc.bursts = 4;
+        mc.congested_flow_bytes = 60_000_000;
+        mc.affected_paths = k;
+        let row = run_variant(Variant::vanilla(scheme).label(), motivation(&mc, scheme, None));
+        Row {
+            scheme: row.label.clone(),
+            x: k,
+            ooo_ratio: row.background.ooo_ratio,
+        }
+    })
+}
+
+pub fn run_bursts(scale: Scale) -> Vec<Row> {
+    let cases: Vec<(Scheme, u32)> = Scheme::PAPER_SET
+        .iter()
+        .flat_map(|&s| BURSTS.iter().map(move |&b| (s, b)))
+        .collect();
+    parallel_map(cases, |(scheme, b)| {
+        let mut mc = fig3::config(scale);
+        mc.n_burst_senders = 4;
+        mc.bursts = b;
+        let row = run_variant(Variant::vanilla(scheme).label(), motivation(&mc, scheme, None));
+        Row {
+            scheme: row.label.clone(),
+            x: b,
+            ooo_ratio: row.background.ooo_ratio,
+        }
+    })
+}
+
+pub fn render(rows: &[Row], x_name: &str) -> String {
+    let mut t = Table::new(vec!["scheme", x_name, "ooo_packets"]);
+    for r in rows {
+        t.row(vec![r.scheme.clone(), r.x.to_string(), pct(r.ooo_ratio)]);
+    }
+    t.render()
+}

@@ -1,0 +1,73 @@
+//! Fig. 6 — FCT CDF of every flow, each scheme vs. its RLB-enhanced
+//! version, symmetric leaf–spine, Web Search at 60% core load.
+
+use super::common::{pick, run_variant, RunRow, Variant};
+use crate::{sweep::parallel_map, Scale};
+use rlb_engine::SimTime;
+use rlb_metrics::{ms, Table};
+use rlb_net::scenario::{steady_state, SteadyStateConfig};
+use rlb_net::TopoConfig;
+use rlb_workloads::Workload;
+
+pub struct Row {
+    pub label: String,
+    pub avg_fct_ms: f64,
+    pub p50_fct_ms: f64,
+    pub p99_fct_ms: f64,
+    pub ooo_ratio: f64,
+    pub pause_frames: u64,
+    pub cdf: Vec<(f64, f64)>,
+}
+
+pub fn config(scale: Scale) -> SteadyStateConfig {
+    SteadyStateConfig {
+        topo: pick(scale, TopoConfig::default(), TopoConfig::paper_scale()),
+        workload: Workload::WebSearch,
+        load: 0.6,
+        horizon: SimTime::from_ms(pick(scale, 10, 25)),
+        seed: 7,
+    }
+}
+
+pub fn run(scale: Scale) -> Vec<Row> {
+    let sc = config(scale);
+    parallel_map(Variant::all_eight(), |v| {
+        let row: RunRow = run_variant(v.label(), steady_state(&sc, v.scheme, v.rlb.clone()));
+        Row {
+            label: row.label.clone(),
+            avg_fct_ms: row.all.avg_fct_ms,
+            p50_fct_ms: row.all.p50_fct_ms,
+            p99_fct_ms: row.all.p99_fct_ms,
+            ooo_ratio: row.all.ooo_ratio,
+            pause_frames: row.counters.pause_frames,
+            cdf: row.fct_cdf,
+        }
+    })
+}
+
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec![
+        "scheme", "avg_ms", "p50_ms", "p99_ms", "ooo", "pauses",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            ms(r.avg_fct_ms),
+            ms(r.p50_fct_ms),
+            ms(r.p99_fct_ms),
+            rlb_metrics::pct(r.ooo_ratio),
+            r.pause_frames.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// The CDF series for one variant, as "fct_ms cum_prob" lines (gnuplot
+/// friendly), mirroring the curves in Fig. 6.
+pub fn render_cdf(row: &Row) -> String {
+    let mut out = format!("# {} FCT CDF\n", row.label);
+    for (x, p) in &row.cdf {
+        out.push_str(&format!("{x:.4} {p:.4}\n"));
+    }
+    out
+}

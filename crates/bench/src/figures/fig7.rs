@@ -1,0 +1,71 @@
+//! Fig. 7 — average FCT vs. load (0.2–0.7) under the asymmetric topology
+//! (20% of leaf–spine links degraded 40→10 Gbps), DRILL and Hermes with
+//! and without RLB, across all four workloads.
+
+use super::common::{pick, run_variant, Variant};
+use crate::{sweep::parallel_map, Scale};
+use rlb_engine::SimTime;
+use rlb_lb::Scheme;
+use rlb_metrics::{ms, Table};
+use rlb_net::scenario::{asymmetric_topo, steady_state, SteadyStateConfig};
+use rlb_net::TopoConfig;
+use rlb_workloads::Workload;
+
+pub struct Row {
+    pub workload: Workload,
+    pub label: String,
+    pub load: f64,
+    pub avg_fct_ms: f64,
+    pub p99_fct_ms: f64,
+}
+
+pub const LOADS: [f64; 6] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7];
+
+pub fn variants() -> Vec<Variant> {
+    vec![
+        Variant::vanilla(Scheme::Drill),
+        Variant::with_rlb(Scheme::Drill),
+        Variant::vanilla(Scheme::Hermes),
+        Variant::with_rlb(Scheme::Hermes),
+    ]
+}
+
+pub fn run(scale: Scale, workload: Workload) -> Vec<Row> {
+    let base = pick(scale, TopoConfig::default(), TopoConfig::paper_scale());
+    let topo = asymmetric_topo(&base, 0.2, 42);
+    let cases: Vec<(Variant, f64)> = variants()
+        .into_iter()
+        .flat_map(|v| LOADS.iter().map(move |&l| (v.clone(), l)))
+        .collect();
+    parallel_map(cases, |(v, load)| {
+        let sc = SteadyStateConfig {
+            topo: topo.clone(),
+            workload,
+            load,
+            horizon: SimTime::from_ms(pick(scale, 8, 20)),
+            seed: 13,
+        };
+        let row = run_variant(v.label(), steady_state(&sc, v.scheme, v.rlb.clone()));
+        Row {
+            workload,
+            label: row.label.clone(),
+            load,
+            avg_fct_ms: row.all.avg_fct_ms,
+            p99_fct_ms: row.all.p99_fct_ms,
+        }
+    })
+}
+
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["workload", "scheme", "load", "avg_fct_ms", "p99_fct_ms"]);
+    for r in rows {
+        t.row(vec![
+            r.workload.name().to_string(),
+            r.label.clone(),
+            format!("{:.1}", r.load),
+            ms(r.avg_fct_ms),
+            ms(r.p99_fct_ms),
+        ]);
+    }
+    t.render()
+}

@@ -1,0 +1,87 @@
+//! Fig. 8 — incast: out-of-order ratio and incast completion time while
+//! varying the incast degree (10–25) and total response size (4–10 MB),
+//! for all eight scheme variants.
+
+use super::common::{pick, run_variant, Variant};
+use crate::{sweep::parallel_map, Scale};
+use rlb_engine::SimDuration;
+use rlb_metrics::{ms, pct, Table};
+use rlb_net::scenario::{incast_scenario, IncastScenarioConfig};
+use rlb_net::TopoConfig;
+
+pub struct Row {
+    pub label: String,
+    pub x: u64,
+    pub ooo_ratio: f64,
+    pub incast_completion_ms: f64,
+}
+
+pub const DEGREES: [u32; 4] = [10, 15, 20, 25];
+pub const RESPONSE_MB: [u64; 4] = [4, 6, 8, 10];
+
+fn base_config(scale: Scale) -> IncastScenarioConfig {
+    // The Quick fabric needs enough other-leaf hosts for the largest
+    // incast degree (25): 4 leaves x 12 hosts leaves 36 candidates.
+    let quick_topo = TopoConfig {
+        hosts_per_leaf: 12,
+        ..TopoConfig::default()
+    };
+    IncastScenarioConfig {
+        topo: pick(scale, quick_topo, TopoConfig::paper_scale()),
+        degree: 15,
+        total_response_bytes: 4_000_000,
+        requests: pick(scale, 8, 20),
+        request_interval: SimDuration::from_ms(1),
+        background_load: 0.2,
+        seed: 17,
+    }
+}
+
+pub fn run_degrees(scale: Scale) -> Vec<Row> {
+    let cases: Vec<(Variant, u32)> = Variant::all_eight()
+        .into_iter()
+        .flat_map(|v| DEGREES.iter().map(move |&d| (v.clone(), d)))
+        .collect();
+    parallel_map(cases, |(v, degree)| {
+        let mut ic = base_config(scale);
+        ic.degree = degree;
+        let row = run_variant(v.label(), incast_scenario(&ic, v.scheme, v.rlb.clone()));
+        Row {
+            label: row.label.clone(),
+            x: degree as u64,
+            ooo_ratio: row.all.ooo_ratio,
+            incast_completion_ms: row.mean_group_completion_ms,
+        }
+    })
+}
+
+pub fn run_response_sizes(scale: Scale) -> Vec<Row> {
+    let cases: Vec<(Variant, u64)> = Variant::all_eight()
+        .into_iter()
+        .flat_map(|v| RESPONSE_MB.iter().map(move |&m| (v.clone(), m)))
+        .collect();
+    parallel_map(cases, |(v, mb)| {
+        let mut ic = base_config(scale);
+        ic.total_response_bytes = mb * 1_000_000;
+        let row = run_variant(v.label(), incast_scenario(&ic, v.scheme, v.rlb.clone()));
+        Row {
+            label: row.label.clone(),
+            x: mb,
+            ooo_ratio: row.all.ooo_ratio,
+            incast_completion_ms: row.mean_group_completion_ms,
+        }
+    })
+}
+
+pub fn render(rows: &[Row], x_name: &str) -> String {
+    let mut t = Table::new(vec![x_name, "scheme", "ooo_packets", "incast_completion_ms"]);
+    for r in rows {
+        t.row(vec![
+            r.x.to_string(),
+            r.label.clone(),
+            pct(r.ooo_ratio),
+            ms(r.incast_completion_ms),
+        ]);
+    }
+    t.render()
+}

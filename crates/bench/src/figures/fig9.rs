@@ -1,0 +1,77 @@
+//! Fig. 9 — the recirculation ablation: Presto+RLB and Hermes+RLB with
+//! recirculation enabled vs. disabled ("RLB w/o Recir."), 99th-percentile
+//! FCT at 40/60/80 % load, Web Server and Data Mining workloads.
+
+use super::common::{pick, run_variant};
+use crate::{sweep::parallel_map, Scale};
+use rlb_core::RlbConfig;
+use rlb_engine::SimTime;
+use rlb_lb::Scheme;
+use rlb_metrics::{ms, Table};
+use rlb_net::scenario::{steady_state, SteadyStateConfig};
+use rlb_net::TopoConfig;
+use rlb_workloads::Workload;
+
+pub struct Row {
+    pub workload: Workload,
+    pub label: String,
+    pub load: f64,
+    pub p99_fct_ms: f64,
+    pub recirculations: u64,
+}
+
+pub const LOADS: [f64; 3] = [0.4, 0.6, 0.8];
+pub const WORKLOADS: [Workload; 2] = [Workload::WebServer, Workload::DataMining];
+
+pub fn run(scale: Scale) -> Vec<Row> {
+    let mut cases = Vec::new();
+    for workload in WORKLOADS {
+        for scheme in [Scheme::Presto, Scheme::Hermes] {
+            for recirc in [false, true] {
+                for &load in &LOADS {
+                    cases.push((workload, scheme, recirc, load));
+                }
+            }
+        }
+    }
+    parallel_map(cases, |(workload, scheme, recirc, load)| {
+        let rlb = RlbConfig {
+            enable_recirculation: recirc,
+            ..RlbConfig::default()
+        };
+        let label = format!(
+            "{}+RLB{}",
+            scheme.name(),
+            if recirc { "" } else { " w/o Recir." }
+        );
+        let sc = SteadyStateConfig {
+            topo: pick(scale, TopoConfig::default(), TopoConfig::paper_scale()),
+            workload,
+            load,
+            horizon: SimTime::from_ms(pick(scale, 16, 30)),
+            seed: 23,
+        };
+        let row = run_variant(label, steady_state(&sc, scheme, Some(rlb)));
+        Row {
+            workload,
+            label: row.label.clone(),
+            load,
+            p99_fct_ms: row.all.p99_fct_ms,
+            recirculations: row.counters.recirculations,
+        }
+    })
+}
+
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(vec!["workload", "scheme", "load", "p99_fct_ms", "recirculations"]);
+    for r in rows {
+        t.row(vec![
+            r.workload.name().to_string(),
+            r.label.clone(),
+            format!("{:.0}%", r.load * 100.0),
+            ms(r.p99_fct_ms),
+            r.recirculations.to_string(),
+        ]);
+    }
+    t.render()
+}

@@ -1,0 +1,12 @@
+//! One module per figure of the paper's evaluation (the paper has no
+//! numbered tables). Each exposes `run(scale)` returning structured rows
+//! and a `render` producing the aligned table the `figN` binaries print.
+
+pub mod common;
+pub mod fig10;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;

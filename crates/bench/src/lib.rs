@@ -1,0 +1,31 @@
+//! # rlb-bench — the experiment harness
+//!
+//! One module per paper figure. Each `figN` module exposes a `run(scale)`
+//! function that regenerates the figure's rows/series and returns them as
+//! structured data; the `src/bin/figN.rs` binaries print them as tables.
+//! `Scale::Quick` shrinks the fabric and horizons so every figure runs in
+//! seconds; `Scale::Paper` uses the paper's topology (minutes per point).
+
+pub mod figures;
+pub mod sweep;
+
+pub use figures::*;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down fabric, short horizons — CI-friendly.
+    Quick,
+    /// The paper's 12×12×24 fabric and larger traffic volumes.
+    Paper,
+}
+
+impl Scale {
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--paper-scale") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Parallel parameter sweeps.
+//!
+//! Each simulation run is single-threaded and deterministic; sweeps over
+//! loads / degrees / schemes are embarrassingly parallel, so we fan the
+//! points out over crossbeam scoped threads (one per point, capped at the
+//! CPU count).
+
+use crossbeam::thread;
+
+/// Run `f` over every item of `inputs` in parallel, preserving order.
+pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let work: std::sync::Mutex<Vec<(usize, I)>> =
+        std::sync::Mutex::new(inputs.into_iter().enumerate().rev().collect());
+    let slots: Vec<std::sync::Mutex<&mut Option<O>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    thread::scope(|s| {
+        for _ in 0..max_threads.min(n) {
+            s.spawn(|_| loop {
+                let item = work.lock().unwrap().pop();
+                match item {
+                    Some((i, input)) => {
+                        let out = f(input);
+                        **slots[i].lock().unwrap() = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    drop(slots);
+    results.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_completeness() {
+        let out = parallel_map((0..100).collect(), |x: i32| x * x);
+        assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |x: u64| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        parallel_map(vec![1, 2, 3], |x: i32| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

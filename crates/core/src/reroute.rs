@@ -1,0 +1,415 @@
+//! The rerouting module (§3.2.2, Algorithm 1): reroute or recirculate on a
+//! PFC warning, preserving packet order.
+
+use crate::config::RlbConfig;
+use rlb_lb::{Ctx, LoadBalancer, PathIdx};
+use serde::Serialize;
+
+/// RLB's verdict for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Forward on this path now.
+    Forward(PathIdx),
+    /// Send the packet around the egress→ingress loop; it re-decides after
+    /// `t_rc` with fresh warning state.
+    Recirculate,
+}
+
+/// Why the decision came out the way it did (diagnostics / counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DecisionReason {
+    /// Initial path carried no warning.
+    UnwarnedInitial,
+    /// Warned, but a nearby suboptimal path existed: rerouted (Alg. 1 l.8).
+    Rerouted,
+    /// Warned and the best alternative was much slower: recirculated
+    /// (Alg. 1 l.6).
+    RecirculatedGap,
+    /// Every path warned: recirculate and hope a warning lifts.
+    RecirculatedAllWarned,
+    /// Recirculation budget exhausted or disabled: forced out on the best
+    /// available path ("recirculation will stop to avoid the endless loop").
+    ForcedOut,
+}
+
+/// Aggregate decision counters.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RlbStats {
+    pub forwards_unwarned: u64,
+    pub reroutes: u64,
+    pub recirculations: u64,
+    pub forced_out: u64,
+    /// Packets that followed an existing per-flow reroute override.
+    pub sticky_forwards: u64,
+}
+
+/// Algorithm 1, "Rerouting without Packet Reordering".
+///
+/// * `initial` — the path the inner load balancer picked (line 2);
+/// * `recircs_so_far` — how many times this packet has already looped.
+///
+/// Line-by-line correspondence:
+/// * l.3 `if receiving p.hPFC` — `ctx.paths[p].warned`;
+/// * l.4 select suboptimal `ps` — best unwarned alternative by RTT (queue
+///   length breaking ties);
+/// * l.5 `(ps.tRTT − p.tRTT) > trc` → recirculate (l.6);
+/// * l.8 otherwise replace `p` with `ps` and re-check — `ps` is unwarned,
+///   so the loop exits with `Forward(ps)`;
+/// * termination: when the recirculation budget is spent, the packet is
+///   forced out on the least-loaded path rather than looping forever.
+pub fn algorithm1(
+    initial: PathIdx,
+    ctx: &Ctx<'_>,
+    cfg: &RlbConfig,
+    recircs_so_far: u32,
+) -> (Decision, DecisionReason) {
+    let paths = ctx.paths;
+    debug_assert!(initial < paths.len());
+
+    if !paths[initial].warned {
+        return (Decision::Forward(initial), DecisionReason::UnwarnedInitial);
+    }
+
+    let budget_left = cfg.enable_recirculation && recircs_so_far < cfg.max_recirculations;
+
+    // Line 4: the suboptimal path — the best alternative with no PFC
+    // warning. "Best" here must respect ordering: a rerouted packet's
+    // predecessors are queued on (or past) the warned path `p`, so the
+    // safe alternative is the unwarned path whose delay is *closest to
+    // p's from above* — fast enough to beat the pending pause, slow
+    // enough not to overtake the packets already sent on `p`. Only if
+    // every unwarned path is faster than `p` do we take the slowest of
+    // them (least overtaking risk).
+    let rtt_p = paths[initial].rtt_ns;
+    let candidates = paths
+        .iter()
+        .enumerate()
+        .filter(|&(i, q)| i != initial && !q.warned);
+    let mut best_above: Option<(usize, f64, u64)> = None; // rtt >= rtt_p: min rtt
+    let mut best_below: Option<(usize, f64, u64)> = None; // rtt < rtt_p: max rtt
+    for (i, q) in candidates {
+        if q.rtt_ns >= rtt_p {
+            // Queue depth first (default policy): local queues react
+            // instantly when many flows reroute at once, dispersing the
+            // herd; the RTT estimate lags by an EWMA and would funnel
+            // everyone onto one path. The RttFirst ablation keeps the
+            // literal Algorithm 1 line-4 ordering.
+            let better = match best_above {
+                None => true,
+                Some((_, r, qb)) => match cfg.suboptimal_policy {
+                    crate::config::SuboptimalPolicy::QueueFirst => {
+                        (q.queue_bytes, q.rtt_ns) < (qb, r)
+                    }
+                    crate::config::SuboptimalPolicy::RttFirst => {
+                        (q.rtt_ns, q.queue_bytes) < (r, qb)
+                    }
+                },
+            };
+            if better {
+                best_above = Some((i, q.rtt_ns, q.queue_bytes));
+            }
+        } else {
+            let better = match best_below {
+                None => true,
+                Some((_, r, qb)) => q.rtt_ns > r || (q.rtt_ns == r && q.queue_bytes < qb),
+            };
+            if better {
+                best_below = Some((i, q.rtt_ns, q.queue_bytes));
+            }
+        }
+    }
+    let suboptimal = best_above.or(best_below).map(|(i, _, _)| i);
+
+    match suboptimal {
+        Some(ps) => {
+            let gap_ns = paths[ps].rtt_ns - paths[initial].rtt_ns;
+            let t_rc_ns = cfg.t_rc_ps as f64 / 1e3;
+            if gap_ns > t_rc_ns {
+                // Line 5–6: the alternative is much slower — waiting out the
+                // (likely transient) pause on the fast path wins.
+                if budget_left {
+                    (Decision::Recirculate, DecisionReason::RecirculatedGap)
+                } else {
+                    (Decision::Forward(ps), DecisionReason::ForcedOut)
+                }
+            } else {
+                // Line 8: comparable delay — take the safe path now.
+                (Decision::Forward(ps), DecisionReason::Rerouted)
+            }
+        }
+        None => {
+            // Every visible path is warned: the warning carries no routing
+            // information (there is nothing safer to wait for), so keep the
+            // inner scheme's choice. Recirculating here would only add
+            // latency — Algorithm 1's recirculation is justified by a fast
+            // path being *selectively* endangered, not by fabric-wide
+            // congestion. One recirculation is still allowed when the
+            // packet has never looped, giving a just-raised warning the
+            // chance to expire (cheap insurance against boundary cases).
+            if budget_left && recircs_so_far == 0 && cfg.recirculate_when_all_warned {
+                (Decision::Recirculate, DecisionReason::RecirculatedAllWarned)
+            } else {
+                (Decision::Forward(initial), DecisionReason::ForcedOut)
+            }
+        }
+    }
+}
+
+/// RLB as a building block: wraps any [`LoadBalancer`] (§1: "RLB is
+/// architecturally compatible with all existing load balancing schemes").
+///
+/// Beyond Algorithm 1, the wrapper keeps a small per-flow override cache:
+/// once a flow is rerouted away from a warned path, its subsequent packets
+/// follow the same safe path for the rest of the warning episode instead
+/// of re-deciding per packet. Without this, a flow's packets alternate
+/// between the original and the reroute path at every warning-refresh
+/// boundary — self-inflicted reordering that Algorithm 1's per-packet
+/// formulation does not guard against (see DESIGN.md, "Known deviations").
+pub struct Rlb<L: ?Sized> {
+    pub cfg: RlbConfig,
+    pub stats: RlbStats,
+    overrides: std::collections::HashMap<u64, (PathIdx, u64)>,
+    inner: Box<L>,
+}
+
+impl Rlb<dyn LoadBalancer> {
+    pub fn new(inner: Box<dyn LoadBalancer>, cfg: RlbConfig) -> Self {
+        Rlb {
+            cfg,
+            stats: RlbStats::default(),
+            overrides: std::collections::HashMap::new(),
+            inner,
+        }
+    }
+
+    pub fn inner_name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    /// Full RLB decision for one packet: inner scheme first (line 2), then
+    /// Algorithm 1 on its choice, with per-flow reroute stickiness.
+    pub fn decide(&mut self, ctx: &Ctx<'_>, recircs_so_far: u32) -> Decision {
+        // Keep the inner scheme's state warm even when an override wins.
+        let initial = self.inner.select(ctx);
+
+        // Active override: stay on the rerouted path while it is itself
+        // safe and the episode hasn't expired.
+        if self.cfg.sticky_reroutes {
+            if let Some(&(path, until)) = self.overrides.get(&ctx.flow_id) {
+                let valid = ctx.now_ps < until
+                    && path < ctx.paths.len()
+                    && !ctx.paths[path].warned
+                    && ctx.paths[initial].warned;
+                if valid {
+                    self.stats.sticky_forwards += 1;
+                    return Decision::Forward(path);
+                }
+                self.overrides.remove(&ctx.flow_id);
+            }
+        }
+
+        let (decision, reason) = algorithm1(initial, ctx, &self.cfg, recircs_so_far);
+        match reason {
+            DecisionReason::UnwarnedInitial => self.stats.forwards_unwarned += 1,
+            DecisionReason::Rerouted => {
+                self.stats.reroutes += 1;
+                if let Decision::Forward(ps) = decision {
+                    self.overrides
+                        .insert(ctx.flow_id, (ps, ctx.now_ps + self.cfg.warn_lifetime_ps));
+                }
+            }
+            DecisionReason::RecirculatedGap | DecisionReason::RecirculatedAllWarned => {
+                self.stats.recirculations += 1
+            }
+            DecisionReason::ForcedOut => self.stats.forced_out += 1,
+        }
+        decision
+    }
+
+    pub fn observe_ack(&mut self, dst_leaf: u32, path: PathIdx, rtt_ns: f64, ecn: bool) {
+        self.inner.observe_ack(dst_leaf, path, rtt_ns, ecn);
+    }
+
+    pub fn on_flow_complete(&mut self, flow_id: u64) {
+        self.overrides.remove(&flow_id);
+        self.inner.on_flow_complete(flow_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_lb::PathInfo;
+
+    fn mk_paths(specs: &[(bool, f64, u64)]) -> Vec<PathInfo> {
+        specs
+            .iter()
+            .map(|&(warned, rtt_ns, queue)| PathInfo {
+                warned,
+                rtt_ns,
+                queue_bytes: queue,
+                ..PathInfo::idle()
+            })
+            .collect()
+    }
+
+    fn ctx<'a>(paths: &'a [PathInfo]) -> Ctx<'a> {
+        Ctx {
+            now_ps: 0,
+            flow_id: 1,
+            dst_leaf: 0,
+            seq: 0,
+            pkt_bytes: 1000,
+            paths,
+        }
+    }
+
+    fn cfg() -> RlbConfig {
+        RlbConfig {
+            t_rc_ps: 1_000_000, // 1 µs
+            ..RlbConfig::default()
+        }
+    }
+
+    #[test]
+    fn unwarned_initial_path_is_kept() {
+        let paths = mk_paths(&[(false, 10_000.0, 0), (false, 10_000.0, 0)]);
+        let (d, r) = algorithm1(0, &ctx(&paths), &cfg(), 0);
+        assert_eq!(d, Decision::Forward(0));
+        assert_eq!(r, DecisionReason::UnwarnedInitial);
+    }
+
+    #[test]
+    fn small_delay_gap_reroutes_to_suboptimal() {
+        // Initial path warned; alternative only 0.5 µs slower < t_rc=1 µs.
+        let paths = mk_paths(&[(true, 10_000.0, 0), (false, 10_500.0, 0)]);
+        let (d, r) = algorithm1(0, &ctx(&paths), &cfg(), 0);
+        assert_eq!(d, Decision::Forward(1));
+        assert_eq!(r, DecisionReason::Rerouted);
+    }
+
+    #[test]
+    fn large_delay_gap_recirculates() {
+        // Alternative 5 µs slower > t_rc=1 µs: wait on the fast path.
+        let paths = mk_paths(&[(true, 10_000.0, 0), (false, 15_000.0, 0)]);
+        let (d, r) = algorithm1(0, &ctx(&paths), &cfg(), 0);
+        assert_eq!(d, Decision::Recirculate);
+        assert_eq!(r, DecisionReason::RecirculatedGap);
+    }
+
+    #[test]
+    fn suboptimal_prefers_unwarned_not_faster_with_shortest_queue() {
+        let paths = mk_paths(&[
+            (true, 10_000.0, 0),    // initial, warned
+            (false, 10_400.0, 50),  // slower-than-p, queue 50
+            (false, 10_400.0, 10),  // slower-than-p, queue 10
+            (false, 10_800.0, 0),   // empty queue → queue-first wins
+            (true, 10_100.0, 0),    // warned — excluded despite best rtt
+        ]);
+        let (d, _) = algorithm1(0, &ctx(&paths), &cfg(), 0);
+        // Queue-first among rtt ≥ rtt_p: path 3 has the shortest queue,
+        // and its 0.8 µs delay gap stays below t_rc so it is a reroute.
+        assert_eq!(d, Decision::Forward(3));
+    }
+
+    #[test]
+    fn suboptimal_never_overtakes_when_slower_choice_exists() {
+        // A faster unwarned path exists, but rerouting onto it would let
+        // this packet overtake its predecessors queued on the warned path.
+        let paths = mk_paths(&[
+            (true, 20_000.0, 0),  // initial, warned
+            (false, 5_000.0, 0),  // much faster — overtaking risk
+            (false, 20_500.0, 0), // slightly slower — safe
+        ]);
+        let (d, r) = algorithm1(0, &ctx(&paths), &cfg(), 0);
+        assert_eq!(d, Decision::Forward(2));
+        assert_eq!(r, DecisionReason::Rerouted);
+    }
+
+    #[test]
+    fn all_unwarned_faster_takes_closest_below() {
+        let paths = mk_paths(&[
+            (true, 50_000.0, 0),  // initial, warned, slowest
+            (false, 5_000.0, 0),  // far faster
+            (false, 40_000.0, 0), // closest below → least overtaking risk
+        ]);
+        let (d, r) = algorithm1(0, &ctx(&paths), &cfg(), 0);
+        assert_eq!(d, Decision::Forward(2));
+        assert_eq!(r, DecisionReason::Rerouted);
+    }
+
+    #[test]
+    fn all_paths_warned_keeps_inner_choice() {
+        // A blanket warning carries no routing signal: forward on the
+        // inner scheme's pick immediately (default config).
+        let paths = mk_paths(&[(true, 10_000.0, 500), (true, 10_000.0, 100)]);
+        let c = cfg();
+        let (d, r) = algorithm1(0, &ctx(&paths), &c, 0);
+        assert_eq!(d, Decision::Forward(0));
+        assert_eq!(r, DecisionReason::ForcedOut);
+        // With the opt-in knob, one recirculation is allowed for a
+        // never-looped packet, then it is forced out.
+        let mut c2 = cfg();
+        c2.recirculate_when_all_warned = true;
+        let (d2, r2) = algorithm1(0, &ctx(&paths), &c2, 0);
+        assert_eq!(d2, Decision::Recirculate);
+        assert_eq!(r2, DecisionReason::RecirculatedAllWarned);
+        let (d3, r3) = algorithm1(0, &ctx(&paths), &c2, 1);
+        assert_eq!(d3, Decision::Forward(0));
+        assert_eq!(r3, DecisionReason::ForcedOut);
+    }
+
+    #[test]
+    fn recirculation_disabled_forces_reroute_even_on_large_gap() {
+        // Fig. 9's "RLB w/o Recir." ablation.
+        let paths = mk_paths(&[(true, 10_000.0, 0), (false, 50_000.0, 0)]);
+        let mut c = cfg();
+        c.enable_recirculation = false;
+        let (d, r) = algorithm1(0, &ctx(&paths), &c, 0);
+        assert_eq!(d, Decision::Forward(1));
+        assert_eq!(r, DecisionReason::ForcedOut);
+    }
+
+    #[test]
+    fn budget_exhaustion_with_large_gap_takes_suboptimal() {
+        let paths = mk_paths(&[(true, 10_000.0, 0), (false, 50_000.0, 0)]);
+        let c = cfg();
+        let (d, r) = algorithm1(0, &ctx(&paths), &c, c.max_recirculations);
+        assert_eq!(d, Decision::Forward(1));
+        assert_eq!(r, DecisionReason::ForcedOut);
+    }
+
+    #[test]
+    fn wrapper_counts_decisions_and_delegates() {
+        let inner = rlb_lb::build(rlb_lb::Scheme::Ecmp, 1000, rlb_engine::substream(1, b"t", 0));
+        let mut rlb = Rlb::new(inner, cfg());
+        assert_eq!(rlb.inner_name(), "ECMP");
+        let clean = mk_paths(&[(false, 10_000.0, 0); 4]);
+        match rlb.decide(&ctx(&clean), 0) {
+            Decision::Forward(_) => {}
+            d => panic!("unexpected {d:?}"),
+        }
+        assert_eq!(rlb.stats.forwards_unwarned, 1);
+        // All-warned snapshot: forced out on the inner choice, counted.
+        let warned = mk_paths(&[(true, 10_000.0, 0); 4]);
+        assert!(matches!(rlb.decide(&ctx(&warned), 0), Decision::Forward(_)));
+        assert_eq!(rlb.stats.forced_out, 1);
+        // Selective warning with a large gap: recirculates. ECMP is
+        // deterministic per flow id, so probe for a flow that lands on the
+        // warned fast path.
+        let selective = mk_paths(&[(true, 10_000.0, 0), (false, 50_000.0, 0)]);
+        let mut hit = false;
+        for fid in 0..64u64 {
+            let c = Ctx {
+                flow_id: fid,
+                ..ctx(&selective)
+            };
+            if rlb.decide(&c, 0) == Decision::Recirculate {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "some flow must hash onto the warned fast path");
+        assert_eq!(rlb.stats.recirculations, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! # rlb-engine — deterministic discrete-event simulation core
+//!
+//! The foundation under the RLB network simulator:
+//!
+//! * [`SimTime`] / [`SimDuration`] — an integer-picosecond clock in which
+//!   serialization delays at datacenter link rates are exact.
+//! * [`EventQueue`] — a future-event list with FIFO-stable tie-breaking, so
+//!   equal-seed runs replay bit-exactly.
+//! * [`rng`] — seed-derived independent random substreams.
+//!
+//! The engine is deliberately ignorant of packets and switches; the network
+//! semantics live in `rlb-net`, which owns the dispatch loop.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::{substream, SimRng};
+pub use time::{bytes_in, tx_delay, SimDuration, SimTime};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the insertion order, events pop sorted by time, and
+        /// equal-time events pop in insertion order.
+        #[test]
+        fn queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime(t), i);
+            }
+            let mut popped = Vec::new();
+            while let Some((t, idx)) = q.pop() {
+                popped.push((t.as_ps(), idx));
+            }
+            prop_assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "FIFO violated at t={}", w[0].0);
+                }
+            }
+        }
+
+        /// tx_delay is monotone in bytes and additive across packet splits.
+        #[test]
+        fn tx_delay_additive(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+            let rate = 40_000_000_000u64;
+            let whole = tx_delay(a + b, rate);
+            let split = tx_delay(a, rate) + tx_delay(b, rate);
+            prop_assert_eq!(whole, split);
+        }
+    }
+}

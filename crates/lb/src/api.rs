@@ -1,0 +1,127 @@
+//! The load-balancer interface.
+//!
+//! In a two-tier leaf–spine fabric the only real path decision is which
+//! uplink (spine) the **source leaf** forwards a packet to — the spine's
+//! downlink and the destination leaf's host port are determined by the
+//! destination. Each scheme therefore implements one function: given a
+//! snapshot of every candidate uplink's state, pick one.
+//!
+//! Vanilla schemes must only read the signals their papers use (local queue
+//! lengths for DRILL, flowlet gaps for LetFlow, ...). The `warned` flag is
+//! populated by the RLB predictor and is exclusively consumed by
+//! `rlb-core`'s rerouting module — that separation is the paper's whole
+//! point (§2.2: existing schemes cannot perceive PFC pausing).
+
+use serde::Serialize;
+
+/// Per-candidate-path state snapshot presented to a scheme.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PathInfo {
+    /// Bytes queued in the local egress queue of this uplink.
+    pub queue_bytes: u64,
+    /// The uplink egress is currently paused by a *real* PFC PAUSE.
+    pub paused: bool,
+    /// RLB PFC-warning active for this (uplink, destination-leaf) path.
+    /// Only `rlb-core` may act on this.
+    pub warned: bool,
+    /// Estimated RTT of the path to the destination leaf, nanoseconds.
+    pub rtt_ns: f64,
+    /// EWMA fraction of ECN-marked feedback on this path (Hermes signal).
+    pub ecn_fraction: f64,
+    /// Uplink capacity — differs across paths in asymmetric topologies.
+    pub link_rate_bps: f64,
+}
+
+impl PathInfo {
+    /// A neutral default for tests: empty queue, 10 µs RTT, clean path.
+    pub fn idle() -> PathInfo {
+        PathInfo {
+            queue_bytes: 0,
+            paused: false,
+            warned: false,
+            rtt_ns: 10_000.0,
+            ecn_fraction: 0.0,
+            link_rate_bps: 40e9,
+        }
+    }
+}
+
+/// Context for one forwarding decision.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx<'a> {
+    pub now_ps: u64,
+    pub flow_id: u64,
+    /// Destination leaf (all paths in `paths` lead to it).
+    pub dst_leaf: u32,
+    /// Packet sequence number within the flow (PSN).
+    pub seq: u32,
+    /// Packet payload bytes.
+    pub pkt_bytes: u32,
+    /// Candidate uplinks; index is the path id handed back by `select`.
+    pub paths: &'a [PathInfo],
+}
+
+/// A path decision: index into `Ctx::paths`.
+pub type PathIdx = usize;
+
+/// A load-balancing scheme deployed at the source leaf.
+pub trait LoadBalancer: Send {
+    fn name(&self) -> &'static str;
+
+    /// Choose the uplink for this packet. Must return a valid index into
+    /// `ctx.paths`.
+    fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx;
+
+    /// Feedback from returning ACKs traversing this leaf (per-path RTT
+    /// sample and ECN-echo), consumed by congestion-aware schemes (Hermes).
+    fn observe_ack(&mut self, _dst_leaf: u32, _path: PathIdx, _rtt_ns: f64, _ecn: bool) {}
+
+    /// A flow finished; schemes may garbage-collect per-flow state.
+    fn on_flow_complete(&mut self, _flow_id: u64) {}
+}
+
+/// Identifier for constructing schemes from experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Scheme {
+    Ecmp,
+    Presto,
+    LetFlow,
+    Hermes,
+    Drill,
+    /// CONGA — not one of the paper's four integrations; an extra baseline.
+    Conga,
+}
+
+impl Scheme {
+    pub const PAPER_SET: [Scheme; 4] = [Scheme::Presto, Scheme::LetFlow, Scheme::Hermes, Scheme::Drill];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Ecmp => "ECMP",
+            Scheme::Presto => "Presto",
+            Scheme::LetFlow => "LetFlow",
+            Scheme::Hermes => "Hermes",
+            Scheme::Drill => "DRILL",
+            Scheme::Conga => "CONGA",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Presto.name(), "Presto");
+        assert_eq!(Scheme::PAPER_SET.len(), 4);
+        assert!(!Scheme::PAPER_SET.contains(&Scheme::Ecmp));
+    }
+
+    #[test]
+    fn idle_path_is_clean() {
+        let p = PathInfo::idle();
+        assert!(!p.paused && !p.warned);
+        assert_eq!(p.queue_bytes, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! CONGA (Alizadeh et al., SIGCOMM 2014): distributed congestion-aware
+//! flowlet load balancing.
+//!
+//! CONGA detects flowlets like LetFlow but replaces the random path pick
+//! with an argmin over a leaf-to-leaf congestion table, fed by congestion
+//! metrics piggybacked on traffic (a discounting rate estimator per link).
+//! In this simulator's abstraction the per-path snapshot already carries
+//! the two feedback signals a CONGA leaf would have — the local uplink
+//! queue and the remote congestion estimate (ECN fraction EWMA) — so the
+//! path metric is `max(local utilisation, remote congestion)`, matching
+//! CONGA's max-of-links path metric in a two-tier fabric.
+//!
+//! CONGA is not one of the paper's four integrations; it is included as an
+//! additional baseline (the paper discusses it in §2.1.3/§5) and for the
+//! ablation harness.
+
+use crate::api::{Ctx, LoadBalancer, PathIdx};
+use rand::Rng;
+use rlb_engine::SimRng;
+use std::collections::HashMap;
+
+/// Flowlet timeout — CONGA uses ~100–500 µs; match LetFlow's default.
+pub const DEFAULT_FLOWLET_TIMEOUT_PS: u64 = crate::letflow::DEFAULT_FLOWLET_TIMEOUT_PS;
+
+/// Local-queue depth that counts as "fully congested" when normalizing the
+/// local half of the path metric.
+const LOCAL_SATURATION_BYTES: f64 = 256.0 * 1024.0;
+
+#[derive(Debug, Clone, Copy)]
+struct FlowletEntry {
+    path: PathIdx,
+    last_seen_ps: u64,
+}
+
+pub struct Conga {
+    timeout_ps: u64,
+    table: HashMap<u64, FlowletEntry>,
+    rng: SimRng,
+    pub flowlet_switches: u64,
+}
+
+impl Conga {
+    pub fn new(rng: SimRng) -> Conga {
+        Conga::with_timeout(rng, DEFAULT_FLOWLET_TIMEOUT_PS)
+    }
+
+    pub fn with_timeout(rng: SimRng, timeout_ps: u64) -> Conga {
+        assert!(timeout_ps > 0);
+        Conga {
+            timeout_ps,
+            table: HashMap::new(),
+            rng,
+            flowlet_switches: 0,
+        }
+    }
+
+    /// CONGA's path congestion metric: the max of the local (uplink) and
+    /// remote (fabric feedback) congestion estimates, each in [0, 1+].
+    fn metric(p: &crate::api::PathInfo) -> f64 {
+        let local = p.queue_bytes as f64 / LOCAL_SATURATION_BYTES;
+        let remote = p.ecn_fraction;
+        local.max(remote)
+    }
+
+    fn best_path(&mut self, ctx: &Ctx<'_>) -> PathIdx {
+        let mut best_metric = f64::INFINITY;
+        for p in ctx.paths {
+            let m = Self::metric(p);
+            if m < best_metric {
+                best_metric = m;
+            }
+        }
+        // Random tie-break among near-equal minima so flowlets spread.
+        let ties: Vec<PathIdx> = ctx
+            .paths
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| Self::metric(p) <= best_metric + 1e-9)
+            .map(|(i, _)| i)
+            .collect();
+        ties[self.rng.gen_range(0..ties.len())]
+    }
+}
+
+impl LoadBalancer for Conga {
+    fn name(&self) -> &'static str {
+        "CONGA"
+    }
+
+    fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx {
+        let n = ctx.paths.len();
+        if let Some(entry) = self.table.get_mut(&ctx.flow_id) {
+            if ctx.now_ps.saturating_sub(entry.last_seen_ps) < self.timeout_ps && entry.path < n {
+                entry.last_seen_ps = ctx.now_ps;
+                return entry.path;
+            }
+        }
+        let path = self.best_path(ctx);
+        if self.table.contains_key(&ctx.flow_id) {
+            self.flowlet_switches += 1;
+        }
+        self.table.insert(
+            ctx.flow_id,
+            FlowletEntry {
+                path,
+                last_seen_ps: ctx.now_ps,
+            },
+        );
+        path
+    }
+
+    fn on_flow_complete(&mut self, flow_id: u64) {
+        self.table.remove(&flow_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::PathInfo;
+    use rlb_engine::substream;
+
+    fn ctx(paths: &[PathInfo], flow_id: u64, now_ps: u64) -> Ctx<'_> {
+        Ctx {
+            now_ps,
+            flow_id,
+            dst_leaf: 0,
+            seq: 0,
+            pkt_bytes: 1000,
+            paths,
+        }
+    }
+
+    fn lb() -> Conga {
+        Conga::with_timeout(substream(5, b"conga-test", 0), 1_000_000)
+    }
+
+    #[test]
+    fn new_flowlet_picks_least_congested_path() {
+        let mut paths = vec![
+            PathInfo {
+                queue_bytes: 200_000,
+                ecn_fraction: 0.0,
+                ..PathInfo::idle()
+            };
+            4
+        ];
+        paths[2].queue_bytes = 1_000;
+        let mut c = lb();
+        assert_eq!(c.select(&ctx(&paths, 1, 0)), 2);
+    }
+
+    #[test]
+    fn remote_congestion_dominates_clean_local_queue() {
+        // Path 0: empty local queue but heavy remote ECN feedback.
+        // Path 1: moderate local queue, clean remote. CONGA's max-metric
+        // must prefer path 1.
+        let paths = vec![
+            PathInfo {
+                queue_bytes: 0,
+                ecn_fraction: 0.9,
+                ..PathInfo::idle()
+            },
+            PathInfo {
+                queue_bytes: 50_000,
+                ecn_fraction: 0.0,
+                ..PathInfo::idle()
+            },
+        ];
+        let mut c = lb();
+        assert_eq!(c.select(&ctx(&paths, 1, 0)), 1);
+    }
+
+    #[test]
+    fn flowlet_stickiness_within_timeout() {
+        let paths = vec![PathInfo::idle(); 8];
+        let mut c = lb();
+        let p = c.select(&ctx(&paths, 3, 0));
+        for t in (0..20).map(|i| i * 900_000) {
+            assert_eq!(c.select(&ctx(&paths, 3, t)), p);
+        }
+        assert_eq!(c.flowlet_switches, 0);
+    }
+
+    #[test]
+    fn flowlet_gap_reroutes_toward_new_minimum() {
+        let mut paths = vec![PathInfo::idle(); 4];
+        let mut c = lb();
+        let p = c.select(&ctx(&paths, 3, 0));
+        // Congest the current path; after a gap CONGA must leave it.
+        paths[p].queue_bytes = 500_000;
+        let q = c.select(&ctx(&paths, 3, 2_000_000));
+        assert_ne!(q, p);
+        assert_eq!(c.flowlet_switches, 1);
+    }
+
+    #[test]
+    fn ties_spread_over_paths() {
+        let paths = vec![PathInfo::idle(); 8];
+        let mut c = lb();
+        let mut used = std::collections::HashSet::new();
+        for f in 0..64 {
+            used.insert(c.select(&ctx(&paths, f, 0)));
+        }
+        assert!(used.len() >= 4, "tie-break should spread: {used:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! LetFlow (Vanini et al., NSDI 2017): flowlet switching with *random*
+//! path choice.
+//!
+//! A flowlet is a burst of packets of one flow separated from the next
+//! burst by an idle gap exceeding the flowlet timeout. Each new flowlet is
+//! assigned a uniformly random path; elastic flowlet sizes then balance
+//! load automatically. If the gap exceeds the maximum path-delay skew the
+//! switch never reorders — which is exactly the property PFC pausing breaks
+//! (a paused path inflates its delay far beyond the gap used to size the
+//! timeout, §2.2.1).
+
+use crate::api::{Ctx, LoadBalancer, PathIdx};
+use rand::Rng;
+use rlb_engine::SimRng;
+use std::collections::HashMap;
+
+/// Default flowlet inactivity timeout. The LetFlow paper explores tens to
+/// hundreds of microseconds; 50 µs suits a 2 µs-link 40 Gbps fabric whose
+/// base RTT is ~18 µs (and makes DCQCN-paced gaps of throttled flows
+/// fragment into flowlets, as they do in the paper's congested runs).
+pub const DEFAULT_FLOWLET_TIMEOUT_PS: u64 = 50_000_000;
+
+#[derive(Debug, Clone, Copy)]
+struct FlowletEntry {
+    path: PathIdx,
+    last_seen_ps: u64,
+}
+
+pub struct LetFlow {
+    timeout_ps: u64,
+    table: HashMap<u64, FlowletEntry>,
+    rng: SimRng,
+    /// Flowlet switches performed (diagnostic).
+    pub flowlet_switches: u64,
+}
+
+impl LetFlow {
+    pub fn new(rng: SimRng) -> LetFlow {
+        LetFlow::with_timeout(rng, DEFAULT_FLOWLET_TIMEOUT_PS)
+    }
+
+    pub fn with_timeout(rng: SimRng, timeout_ps: u64) -> LetFlow {
+        assert!(timeout_ps > 0);
+        LetFlow {
+            timeout_ps,
+            table: HashMap::new(),
+            rng,
+            flowlet_switches: 0,
+        }
+    }
+}
+
+impl LoadBalancer for LetFlow {
+    fn name(&self) -> &'static str {
+        "LetFlow"
+    }
+
+    fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx {
+        let n = ctx.paths.len();
+        match self.table.get_mut(&ctx.flow_id) {
+            Some(entry) if ctx.now_ps.saturating_sub(entry.last_seen_ps) < self.timeout_ps => {
+                entry.last_seen_ps = ctx.now_ps;
+                entry.path
+            }
+            existing => {
+                let path = self.rng.gen_range(0..n);
+                if existing.is_some() {
+                    self.flowlet_switches += 1;
+                }
+                self.table.insert(
+                    ctx.flow_id,
+                    FlowletEntry {
+                        path,
+                        last_seen_ps: ctx.now_ps,
+                    },
+                );
+                path
+            }
+        }
+    }
+
+    fn on_flow_complete(&mut self, flow_id: u64) {
+        self.table.remove(&flow_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::PathInfo;
+    use rlb_engine::substream;
+
+    fn ctx(paths: &[PathInfo], flow_id: u64, now_ps: u64) -> Ctx<'_> {
+        Ctx {
+            now_ps,
+            flow_id,
+            dst_leaf: 0,
+            seq: 0,
+            pkt_bytes: 1000,
+            paths,
+        }
+    }
+
+    fn lb() -> LetFlow {
+        LetFlow::with_timeout(substream(1, b"letflow-test", 0), 1_000_000) // 1 µs timeout
+    }
+
+    #[test]
+    fn packets_within_gap_stay_on_path() {
+        let paths = vec![PathInfo::idle(); 8];
+        let mut lb = lb();
+        let p = lb.select(&ctx(&paths, 5, 0));
+        for t in (0..50).map(|i| i * 900_000) {
+            // gaps of 0.9 µs < 1 µs timeout: same flowlet
+            assert_eq!(lb.select(&ctx(&paths, 5, t)), p);
+        }
+        assert_eq!(lb.flowlet_switches, 0);
+    }
+
+    #[test]
+    fn gap_beyond_timeout_may_switch_path() {
+        let paths = vec![PathInfo::idle(); 16];
+        let mut lb = lb();
+        lb.select(&ctx(&paths, 5, 0));
+        // Many flowlets: with 16 paths, at least one reroll lands elsewhere.
+        let mut distinct = std::collections::HashSet::new();
+        for k in 1..40u64 {
+            distinct.insert(lb.select(&ctx(&paths, 5, k * 2_000_000)));
+        }
+        assert!(distinct.len() > 1, "random rerolls never moved");
+        assert_eq!(lb.flowlet_switches, 39);
+    }
+
+    #[test]
+    fn flows_are_independent() {
+        let paths = vec![PathInfo::idle(); 16];
+        let mut lb = lb();
+        let mut used = std::collections::HashSet::new();
+        for f in 0..64 {
+            used.insert(lb.select(&ctx(&paths, f, 0)));
+        }
+        assert!(used.len() > 4, "random initial picks should spread");
+    }
+
+    #[test]
+    fn timeout_boundary_is_exclusive_below() {
+        let paths = vec![PathInfo::idle(); 4];
+        let mut lb = LetFlow::with_timeout(substream(2, b"letflow-test", 1), 1_000);
+        let p = lb.select(&ctx(&paths, 1, 0));
+        // exactly at timeout: new flowlet (gap >= timeout)
+        let _ = lb.select(&ctx(&paths, 1, 1_000));
+        assert_eq!(lb.flowlet_switches, 1);
+        // strictly below: same flowlet
+        let q = lb.select(&ctx(&paths, 1, 1_999));
+        assert_eq!(lb.flowlet_switches, 1);
+        let _ = (p, q);
+    }
+
+    #[test]
+    fn completion_clears_table() {
+        let paths = vec![PathInfo::idle(); 4];
+        let mut lb = lb();
+        lb.select(&ctx(&paths, 1, 0));
+        lb.on_flow_complete(1);
+        assert!(lb.table.is_empty());
+    }
+}

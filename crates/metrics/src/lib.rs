@@ -1,0 +1,90 @@
+//! # rlb-metrics — measurement and reporting
+//!
+//! Everything the paper's evaluation section measures, as reusable types:
+//!
+//! * [`FlowRecord`] / [`FctSummary`] — per-flow FCT, out-of-order packets,
+//!   out-of-order degree (OOD), retransmissions; aggregate means and tail
+//!   percentiles.
+//! * [`FabricCounters`] — PFC pause/resume activity, CNM warnings,
+//!   recirculation and reroute counts, buffer drops.
+//! * [`OnlineStats`], [`percentile`], [`LogHistogram`] — scalar statistics.
+//! * [`Table`] — aligned ASCII output for the `figN` experiment harnesses.
+
+pub mod counters;
+pub mod flows;
+pub mod histogram;
+pub mod stats;
+pub mod table;
+
+pub use counters::FabricCounters;
+pub use flows::{downsample_cdf, fct_cdf, slowdown_summary, FctSummary, FlowRecord};
+pub use histogram::LogHistogram;
+pub use stats::{mean, percentile, percentile_of_sorted, OnlineStats};
+pub use table::{ms, pct, Table};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Nearest-rank percentile always returns an element of the sample,
+        /// and is monotone in q.
+        #[test]
+        fn percentile_properties(
+            mut xs in proptest::collection::vec(-1e6f64..1e6, 1..300),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            let p_lo = percentile(&xs, lo);
+            let p_hi = percentile(&xs, hi);
+            prop_assert!(xs.iter().any(|&x| x == p_lo));
+            prop_assert!(xs.iter().any(|&x| x == p_hi));
+            prop_assert!(p_lo <= p_hi);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(percentile_of_sorted(&xs, 1.0), *xs.last().unwrap());
+        }
+
+        /// Online mean matches the naive mean to floating-point tolerance.
+        #[test]
+        fn online_mean_matches_naive(xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+            let mut s = OnlineStats::new();
+            for &x in &xs { s.push(x); }
+            let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((s.mean() - naive).abs() <= 1e-6 * (1.0 + naive.abs()));
+            prop_assert_eq!(s.count() as usize, xs.len());
+        }
+
+        /// Histogram quantile upper bound dominates the true quantile and
+        /// count/max/mean stay exact.
+        #[test]
+        fn log_histogram_bounds(vals in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+            let mut h = LogHistogram::new();
+            for &v in &vals { h.record(v); }
+            prop_assert_eq!(h.count() as usize, vals.len());
+            prop_assert_eq!(h.max(), *vals.iter().max().unwrap());
+            let mut sorted = vals.clone();
+            sorted.sort();
+            for &q in &[0.5, 0.99] {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                prop_assert!(h.quantile_upper_bound(q) >= sorted[rank - 1]);
+            }
+        }
+
+        /// Merging OnlineStats in any split equals pushing the whole slice.
+        #[test]
+        fn merge_any_split(xs in proptest::collection::vec(-1e6f64..1e6, 2..100), split in 1usize..99) {
+            let k = split.min(xs.len() - 1);
+            let mut whole = OnlineStats::new();
+            for &x in &xs { whole.push(x); }
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            for &x in &xs[..k] { a.push(x); }
+            for &x in &xs[k..] { b.push(x); }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), whole.count());
+            prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Simulation configuration.
+
+use rlb_core::RlbConfig;
+use rlb_engine::{SimDuration, SimTime};
+use rlb_lb::Scheme;
+use rlb_transport::DcqcnConfig;
+use serde::{Deserialize, Serialize};
+
+/// Leaf–spine fabric shape and link properties.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoConfig {
+    pub n_leaves: u32,
+    pub n_spines: u32,
+    pub hosts_per_leaf: u32,
+    /// Leaf–spine link rate (bits/s). Paper: 40 Gbps.
+    pub link_rate_bps: u64,
+    /// Host–leaf link rate (bits/s). Paper: 40 Gbps.
+    pub host_link_rate_bps: u64,
+    /// One-way propagation delay of every link. Paper: 2 µs.
+    pub link_delay_ps: u64,
+    /// Degraded leaf–spine links (leaf, spine) — the asymmetric topology of
+    /// §4.2 cuts 20% of links from 40 to 10 Gbps.
+    pub degraded_links: Vec<(u32, u32)>,
+    pub degraded_rate_bps: u64,
+}
+
+impl Default for TopoConfig {
+    fn default() -> Self {
+        // Scaled-down default (see DESIGN.md §2): 4×4 leaf–spine, 8 hosts
+        // per leaf. `paper_scale` gives the 12×12×24 fabric.
+        TopoConfig {
+            n_leaves: 4,
+            n_spines: 4,
+            hosts_per_leaf: 8,
+            link_rate_bps: 40_000_000_000,
+            host_link_rate_bps: 40_000_000_000,
+            link_delay_ps: 2_000_000,
+            degraded_links: Vec::new(),
+            degraded_rate_bps: 10_000_000_000,
+        }
+    }
+}
+
+impl TopoConfig {
+    /// The paper's evaluation fabric: 12 leaves × 12 spines, 24 hosts/leaf.
+    pub fn paper_scale() -> TopoConfig {
+        TopoConfig {
+            n_leaves: 12,
+            n_spines: 12,
+            hosts_per_leaf: 24,
+            ..TopoConfig::default()
+        }
+    }
+
+    pub fn n_hosts(&self) -> u32 {
+        self.n_leaves * self.hosts_per_leaf
+    }
+
+    /// Aggregate leaf→spine capacity, the "network core" loads are
+    /// expressed against.
+    pub fn core_bits_per_sec(&self) -> f64 {
+        let mut total = 0.0;
+        for l in 0..self.n_leaves {
+            for s in 0..self.n_spines {
+                total += self.uplink_rate_bps(l, s) as f64;
+            }
+        }
+        total
+    }
+
+    pub fn uplink_rate_bps(&self, leaf: u32, spine: u32) -> u64 {
+        if self.degraded_links.contains(&(leaf, spine)) {
+            self.degraded_rate_bps
+        } else {
+            self.link_rate_bps
+        }
+    }
+
+    /// Uncongested one-way host→host latency across the core, in ps:
+    /// 4 links of propagation plus serialization of one MTU at each hop.
+    pub fn base_one_way_ps(&self, mtu_wire_bytes: u64) -> u64 {
+        let ser = rlb_engine::tx_delay(mtu_wire_bytes, self.link_rate_bps).as_ps();
+        4 * (self.link_delay_ps + ser)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_leaves < 2 {
+            return Err("need at least 2 leaves".into());
+        }
+        if self.n_spines < 1 || self.hosts_per_leaf < 1 {
+            return Err("need at least 1 spine and 1 host per leaf".into());
+        }
+        if self.link_rate_bps == 0 || self.host_link_rate_bps == 0 {
+            return Err("link rates must be positive".into());
+        }
+        for &(l, s) in &self.degraded_links {
+            if l >= self.n_leaves || s >= self.n_spines {
+                return Err(format!("degraded link ({l},{s}) out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// ECN marking at egress queues (DCQCN's congestion point).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EcnConfig {
+    pub kmin_bytes: u64,
+    pub kmax_bytes: u64,
+    pub pmax: f64,
+}
+
+impl Default for EcnConfig {
+    fn default() -> Self {
+        // DCQCN's 40 Gbps defaults (Zhu et al. 2015): marking starts early
+        // but gently, so bursts outrun ECN and PFC still engages — the
+        // regime the paper studies.
+        EcnConfig {
+            kmin_bytes: 5_000,
+            kmax_bytes: 200_000,
+            pmax: 0.01,
+        }
+    }
+}
+
+/// Shared-buffer PFC switch parameters (Fig. 1's architecture).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchConfig {
+    /// Shared memory pool. Paper: 9 MB.
+    pub buffer_bytes: u64,
+    /// Per-ingress-port PFC PAUSE threshold. Paper: 256 KB.
+    pub pfc_threshold_bytes: u64,
+    /// RESUME fires once the ingress counter falls below
+    /// `pfc_threshold_bytes - pfc_hysteresis_bytes`.
+    pub pfc_hysteresis_bytes: u64,
+    /// Enable PFC at all (Fig. 3 contrasts with/without).
+    pub pfc_enabled: bool,
+    pub ecn: EcnConfig,
+    /// Dynamic-threshold buffer management: a data packet is tail-dropped
+    /// when its egress queue exceeds `dt_alpha × remaining free pool`.
+    /// Prevents one hot egress from starving the whole shared memory — the
+    /// standard Broadcom-style DT policy. Mostly relevant with PFC off.
+    pub dt_alpha: f64,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            buffer_bytes: 9_000_000,
+            pfc_threshold_bytes: 256 * 1024,
+            pfc_hysteresis_bytes: 2 * 1048,
+            pfc_enabled: true,
+            ecn: EcnConfig::default(),
+            dt_alpha: 4.0,
+        }
+    }
+}
+
+/// Host / NIC transport parameters.
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    pub dcqcn: DcqcnConfig,
+    /// Reliable-delivery scheme at the NICs (go-back-N is the paper's
+    /// lossless baseline; selective repeat models IRN from §5).
+    pub mode: crate::host::TransportMode,
+    /// Go-back-N retransmission timeout.
+    pub rto_ps: u64,
+    /// Data payload per packet.
+    pub mtu_bytes: u32,
+    /// Link-layer + transport header overhead per data packet.
+    pub hdr_bytes: u32,
+    /// Wire size of control packets (ACK/NAK/CNP/CNM).
+    pub ctrl_bytes: u32,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            dcqcn: DcqcnConfig::default(),
+            mode: crate::host::TransportMode::GoBackN,
+            rto_ps: 400_000_000, // 400 µs ≫ base RTT (~20 µs)
+            mtu_bytes: 1000,
+            hdr_bytes: 48,
+            ctrl_bytes: 64,
+        }
+    }
+}
+
+/// Everything one simulation run needs.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub topo: TopoConfig,
+    pub switch: SwitchConfig,
+    pub transport: TransportConfig,
+    /// The load-balancing scheme deployed at the leaves.
+    pub scheme: Scheme,
+    /// `Some` = the scheme is RLB-enhanced (predictor + Algorithm 1).
+    pub rlb: Option<RlbConfig>,
+    pub seed: u64,
+    /// Hard stop: the simulation ends at this time even with flows open.
+    pub hard_stop: SimTime,
+    /// Optional periodic fabric snapshots (see [`crate::monitor`]).
+    pub monitor: Option<crate::monitor::MonitorConfig>,
+    /// Flow ids to trace packet-by-packet (see [`crate::trace`]).
+    pub trace_flows: Vec<u32>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            topo: TopoConfig::default(),
+            switch: SwitchConfig::default(),
+            transport: TransportConfig::default(),
+            scheme: Scheme::Drill,
+            rlb: None,
+            seed: 1,
+            hard_stop: SimTime::from_ms(200),
+            monitor: None,
+            trace_flows: Vec::new(),
+        }
+    }
+}
+
+impl SimConfig {
+    pub fn validate(&self) -> Result<(), String> {
+        self.topo.validate()?;
+        if let Some(rlb) = &self.rlb {
+            rlb.validate()?;
+        }
+        if self.switch.pfc_threshold_bytes == 0 && self.switch.pfc_enabled {
+            return Err("PFC enabled with zero threshold".into());
+        }
+        if self.switch.pfc_hysteresis_bytes >= self.switch.pfc_threshold_bytes {
+            return Err("hysteresis must be below the PFC threshold".into());
+        }
+        if self.transport.mtu_bytes == 0 {
+            return Err("mtu must be positive".into());
+        }
+        if self.switch.ecn.kmin_bytes > self.switch.ecn.kmax_bytes {
+            return Err("ECN kmin above kmax".into());
+        }
+        Ok(())
+    }
+
+    /// Wire size of a full data packet.
+    pub fn mtu_wire_bytes(&self) -> u32 {
+        self.transport.mtu_bytes + self.transport.hdr_bytes
+    }
+
+    pub fn link_delay(&self) -> SimDuration {
+        SimDuration(self.topo.link_delay_ps)
+    }
+
+    /// Display label like "DRILL+RLB" / "DRILL".
+    pub fn label(&self) -> String {
+        match &self.rlb {
+            Some(_) => format!("{}+RLB", self.scheme.name()),
+            None => self.scheme.name().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SimConfig::default().validate().unwrap();
+        let mut c = SimConfig::default();
+        c.rlb = Some(RlbConfig::default());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_scale_matches_evaluation_section() {
+        let t = TopoConfig::paper_scale();
+        assert_eq!((t.n_leaves, t.n_spines, t.hosts_per_leaf), (12, 12, 24));
+        assert_eq!(t.n_hosts(), 288);
+        assert_eq!(t.link_rate_bps, 40_000_000_000);
+        assert_eq!(t.link_delay_ps, 2_000_000);
+    }
+
+    #[test]
+    fn degraded_links_change_rate_and_core_capacity() {
+        let mut t = TopoConfig::default();
+        let full = t.core_bits_per_sec();
+        t.degraded_links.push((0, 0));
+        assert_eq!(t.uplink_rate_bps(0, 0), 10_000_000_000);
+        assert_eq!(t.uplink_rate_bps(0, 1), 40_000_000_000);
+        assert!(t.core_bits_per_sec() < full);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut t = TopoConfig::default();
+        t.n_leaves = 1;
+        assert!(t.validate().is_err());
+        let mut t = TopoConfig::default();
+        t.degraded_links.push((99, 0));
+        assert!(t.validate().is_err());
+        let mut c = SimConfig::default();
+        c.switch.pfc_hysteresis_bytes = c.switch.pfc_threshold_bytes;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn labels() {
+        let mut c = SimConfig::default();
+        assert_eq!(c.label(), "DRILL");
+        c.rlb = Some(RlbConfig::default());
+        assert_eq!(c.label(), "DRILL+RLB");
+    }
+
+    #[test]
+    fn base_one_way_delay() {
+        let t = TopoConfig::default();
+        // 4 hops × (2 µs + 1048B × 0.2 ns/B = 209.6 ns) ≈ 8.84 µs
+        let d = t.base_one_way_ps(1048);
+        assert_eq!(d, 4 * (2_000_000 + 209_600));
+    }
+}

@@ -1,0 +1,330 @@
+//! Host / NIC model: per-flow sender+receiver transport state and the NIC
+//! egress arbitration bookkeeping.
+//!
+//! The NIC uses a *pull* model, like hardware RoCE NICs: whenever the
+//! egress link is free (and not PFC-paused by the leaf), it round-robins
+//! over the host's active flows and transmits one packet from the first
+//! flow whose DCQCN pacing clock allows. If no flow is eligible yet, the
+//! simulator schedules a wake-up at the earliest pacing deadline.
+
+use crate::topology::Node;
+use rlb_transport::{
+    CnpGenerator, DcqcnConfig, DcqcnRate, GbnReceiver, GbnSender, IrnReceiver, IrnSender,
+};
+use rlb_workloads::FlowSpec;
+
+/// Which reliable-delivery scheme the NICs run (see `rlb-transport`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// RoCEv2 go-back-N — the paper's lossless-DCN baseline (§2.1.2).
+    GoBackN,
+    /// IRN-style selective repeat with a BDP window — the abandon-PFC
+    /// alternative from the paper's related work (§5).
+    SelectiveRepeat,
+}
+
+/// Per-flow reliability state, one variant per transport mode.
+pub enum Reliability {
+    Gbn { tx: GbnSender, rx: GbnReceiver },
+    Irn { tx: IrnSender, rx: IrnReceiver },
+}
+
+impl Reliability {
+    pub fn new(mode: TransportMode, total_packets: u32, irn_window: u32) -> Reliability {
+        match mode {
+            TransportMode::GoBackN => Reliability::Gbn {
+                tx: GbnSender::new(total_packets),
+                rx: GbnReceiver::new(total_packets),
+            },
+            TransportMode::SelectiveRepeat => Reliability::Irn {
+                tx: IrnSender::new(total_packets, irn_window.max(1)),
+                rx: IrnReceiver::new(total_packets),
+            },
+        }
+    }
+
+    pub fn peek_next(&self) -> Option<u32> {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.peek_next(),
+            Reliability::Irn { tx, .. } => tx.peek_next(),
+        }
+    }
+
+    pub fn take_next(&mut self) -> Option<u32> {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.take_next(),
+            Reliability::Irn { tx, .. } => tx.take_next(),
+        }
+    }
+
+    pub fn sender_complete(&self) -> bool {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.is_complete(),
+            Reliability::Irn { tx, .. } => tx.is_complete(),
+        }
+    }
+
+    /// Cumulative progress marker (for RTO progress detection).
+    pub fn progress_mark(&self) -> u32 {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.snd_una(),
+            Reliability::Irn { tx, .. } => tx.cumulative(),
+        }
+    }
+
+    pub fn has_outstanding(&self) -> bool {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.in_flight() > 0,
+            Reliability::Irn { tx, .. } => tx.in_flight() > 0,
+        }
+    }
+
+    pub fn on_timeout(&mut self) -> bool {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.on_timeout(),
+            Reliability::Irn { tx, .. } => tx.on_timeout(),
+        }
+    }
+
+    pub fn packets_sent(&self) -> u64 {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.packets_sent,
+            Reliability::Irn { tx, .. } => tx.packets_sent,
+        }
+    }
+
+    /// NAKs (go-back-N) / NACK-flagged ACKs (IRN) seen by the sender.
+    pub fn naks(&self) -> u64 {
+        match self {
+            Reliability::Gbn { tx, .. } => tx.naks_received,
+            Reliability::Irn { tx, .. } => tx.nacks,
+        }
+    }
+
+    pub fn ooo_packets(&self) -> u64 {
+        match self {
+            Reliability::Gbn { rx, .. } => rx.ooo_packets,
+            Reliability::Irn { rx, .. } => rx.ooo_arrivals,
+        }
+    }
+
+    pub fn max_ood(&self) -> u32 {
+        match self {
+            Reliability::Gbn { rx, .. } => rx.max_ood,
+            Reliability::Irn { rx, .. } => rx.max_ood,
+        }
+    }
+}
+
+/// Everything the simulation tracks for one flow.
+pub struct FlowState {
+    pub spec: FlowSpec,
+    pub total_packets: u32,
+    pub reliability: Reliability,
+    pub dcqcn: DcqcnRate,
+    pub cnp_gen: CnpGenerator,
+    /// Pacing: earliest time the sender may emit its next packet.
+    pub next_eligible_ps: u64,
+    pub started: bool,
+    pub finish_ps: Option<u64>,
+    /// Progress marker observed at the previous RTO check.
+    pub last_una_at_rto: u32,
+    /// RLB recirculations suffered by this flow's packets.
+    pub recirculations: u64,
+}
+
+impl FlowState {
+    pub fn new(spec: FlowSpec, mtu_bytes: u32, dcqcn_cfg: DcqcnConfig) -> FlowState {
+        FlowState::with_mode(spec, mtu_bytes, dcqcn_cfg, TransportMode::GoBackN, 0)
+    }
+
+    pub fn with_mode(
+        spec: FlowSpec,
+        mtu_bytes: u32,
+        dcqcn_cfg: DcqcnConfig,
+        mode: TransportMode,
+        irn_window: u32,
+    ) -> FlowState {
+        let total_packets = spec.size_bytes.div_ceil(mtu_bytes as u64).max(1) as u32;
+        FlowState {
+            spec,
+            total_packets,
+            reliability: Reliability::new(mode, total_packets, irn_window),
+            dcqcn: DcqcnRate::new(dcqcn_cfg),
+            cnp_gen: CnpGenerator::default(),
+            next_eligible_ps: 0,
+            started: false,
+            finish_ps: None,
+            last_una_at_rto: 0,
+            recirculations: 0,
+        }
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.finish_ps.is_some()
+    }
+
+    /// Payload bytes of packet `psn` (the last packet may be short).
+    pub fn payload_bytes(&self, psn: u32, mtu_bytes: u32) -> u32 {
+        debug_assert!(psn < self.total_packets);
+        if psn + 1 == self.total_packets {
+            let rem = self.spec.size_bytes - (self.total_packets as u64 - 1) * mtu_bytes as u64;
+            rem.max(1) as u32
+        } else {
+            mtu_bytes
+        }
+    }
+
+    /// Ready to transmit at `now`: pacing allows and the sender has a PSN.
+    pub fn eligible(&self, now_ps: u64) -> bool {
+        self.started
+            && !self.is_complete()
+            && self.next_eligible_ps <= now_ps
+            && self.reliability.peek_next().is_some()
+    }
+
+    /// Has queued data but its pacing clock hasn't expired yet.
+    pub fn pending(&self) -> bool {
+        self.started && !self.is_complete() && self.reliability.peek_next().is_some()
+    }
+}
+
+/// NIC-level state for one host.
+pub struct Host {
+    pub node: Node,
+    /// Flows whose sender lives on this host (indices into the flow table).
+    pub tx_flows: Vec<u32>,
+    pub rr_cursor: usize,
+    /// The single egress link toward the leaf.
+    pub busy: bool,
+    /// PFC-paused by the leaf's ingress MMU.
+    pub paused: bool,
+    pub paused_since_ps: u64,
+    /// Earliest outstanding HostWake event time (dedup).
+    pub wake_at: Option<u64>,
+}
+
+impl Host {
+    pub fn new(host_id: u32) -> Host {
+        Host {
+            node: Node::Host(host_id),
+            tx_flows: Vec::new(),
+            rr_cursor: 0,
+            busy: false,
+            paused: false,
+            paused_since_ps: 0,
+            wake_at: None,
+        }
+    }
+
+    /// Round-robin pick of an eligible flow; advances the cursor past the
+    /// chosen flow so heavy flows can't starve others.
+    pub fn pick_eligible(&mut self, flows: &[FlowState], now_ps: u64) -> Option<u32> {
+        let n = self.tx_flows.len();
+        for k in 0..n {
+            let i = (self.rr_cursor + k) % n;
+            let f = self.tx_flows[i];
+            if flows[f as usize].eligible(now_ps) {
+                self.rr_cursor = (i + 1) % n;
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// Earliest pacing deadline among flows that have data but aren't
+    /// eligible yet — when the NIC should wake up.
+    pub fn earliest_deadline(&self, flows: &[FlowState]) -> Option<u64> {
+        self.tx_flows
+            .iter()
+            .filter(|&&f| flows[f as usize].pending())
+            .map(|&f| flows[f as usize].next_eligible_ps)
+            .min()
+    }
+
+    /// Drop completed flows from the NIC's service list.
+    pub fn gc_flows(&mut self, flows: &[FlowState]) {
+        self.tx_flows.retain(|&f| !flows[f as usize].is_complete());
+        if self.rr_cursor >= self.tx_flows.len() {
+            self.rr_cursor = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlb_engine::SimTime;
+
+    fn flow(size: u64) -> FlowState {
+        let mut f = FlowState::new(
+            FlowSpec::new(SimTime::ZERO, 0, 9, size),
+            1000,
+            DcqcnConfig::default(),
+        );
+        f.started = true;
+        f
+    }
+
+    #[test]
+    fn packetization_rounds_up_and_shortens_tail() {
+        let f = flow(2_500);
+        assert_eq!(f.total_packets, 3);
+        assert_eq!(f.payload_bytes(0, 1000), 1000);
+        assert_eq!(f.payload_bytes(2, 1000), 500);
+        let g = flow(1);
+        assert_eq!(g.total_packets, 1);
+        assert_eq!(g.payload_bytes(0, 1000), 1);
+        let h = flow(3_000);
+        assert_eq!(h.payload_bytes(2, 1000), 1000);
+    }
+
+    #[test]
+    fn eligibility_gates_on_pacing_and_data() {
+        let mut f = flow(2_000);
+        assert!(f.eligible(0));
+        f.next_eligible_ps = 500;
+        assert!(!f.eligible(499));
+        assert!(f.eligible(500));
+        // Exhaust the send window.
+        f.reliability.take_next();
+        f.reliability.take_next();
+        assert!(!f.eligible(1_000), "nothing left to send");
+        assert!(!f.pending());
+    }
+
+    #[test]
+    fn round_robin_is_fair_and_skips_ineligible() {
+        let mut flows = vec![flow(10_000), flow(10_000), flow(10_000)];
+        flows[1].next_eligible_ps = 1_000_000; // not eligible now
+        let mut h = Host::new(0);
+        h.tx_flows = vec![0, 1, 2];
+        assert_eq!(h.pick_eligible(&flows, 0), Some(0));
+        assert_eq!(h.pick_eligible(&flows, 0), Some(2));
+        assert_eq!(h.pick_eligible(&flows, 0), Some(0));
+        // Once flow 1 becomes eligible it gets service too.
+        assert_eq!(h.pick_eligible(&flows, 2_000_000), Some(1));
+    }
+
+    #[test]
+    fn earliest_deadline_for_wakeup() {
+        let mut flows = vec![flow(10_000), flow(10_000)];
+        flows[0].next_eligible_ps = 700;
+        flows[1].next_eligible_ps = 300;
+        let mut h = Host::new(0);
+        h.tx_flows = vec![0, 1];
+        assert_eq!(h.earliest_deadline(&flows), Some(300));
+        // Completed flows are ignored.
+        flows[1].finish_ps = Some(1);
+        assert_eq!(h.earliest_deadline(&flows), Some(700));
+        h.gc_flows(&flows);
+        assert_eq!(h.tx_flows, vec![0]);
+    }
+
+    #[test]
+    fn pick_on_empty_flow_list() {
+        let mut h = Host::new(3);
+        assert_eq!(h.pick_eligible(&[], 0), None);
+        assert_eq!(h.earliest_deadline(&[]), None);
+    }
+}

@@ -1,0 +1,1250 @@
+//! The simulation: event dispatch wiring hosts, switches, transport, load
+//! balancing and RLB together.
+//!
+//! One `Simulation` owns the whole fabric. Every interaction is an explicit
+//! event with real latency — PFC PAUSE frames take a propagation delay to
+//! arrive, CNM warnings serialize onto reverse links hop-by-hop, packets
+//! occupy shared buffer from ingress admission to egress completion.
+
+use crate::config::SimConfig;
+use crate::host::{FlowState, Host, Reliability};
+use crate::monitor::{FabricSample, FabricTimeSeries};
+use crate::packet::{Packet, PacketKind, NO_PATH};
+use crate::switch::{LbInstance, LeafState, PfcAction, Switch};
+use crate::topology::{Node, Topology};
+use crate::trace::{FlowTraces, TraceEvent};
+use rlb_core::{conservative_qth, Decision, PfcPredictor, Prediction, Rlb};
+use rlb_engine::{substream, tx_delay, EventQueue, SimDuration, SimTime};
+use rlb_lb::{Ctx, PathInfo};
+use rlb_metrics::{FabricCounters, FctSummary, FlowRecord, LogHistogram};
+use rlb_workloads::FlowSpec;
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum Event {
+    FlowStart(u32),
+    /// NIC pacing wake-up.
+    HostWake(u32),
+    /// A frame finished propagating and arrives at (node, port).
+    LinkArrive { node: Node, port: u16, pkt: Packet },
+    /// A switch egress finished serializing; `release` = (ingress_port,
+    /// bytes) to free from the shared buffer for data frames.
+    EgressDone {
+        node: Node,
+        port: u16,
+        release: Option<(u16, u32)>,
+    },
+    /// The host NIC finished serializing a frame.
+    HostEgressDone(u32),
+    /// PFC PAUSE (true) / RESUME (false) takes effect at (node, port).
+    PauseFrame { node: Node, port: u16, pause: bool },
+    /// RLB Δt ingress-queue sampling tick.
+    PredictorSample { node: Node, port: u16 },
+    /// A recirculated packet re-enters the routing pipeline.
+    Recirculate { node: Node, pkt: Packet },
+    AlphaTimer(u32),
+    IncreaseTimer(u32),
+    RtoCheck(u32),
+    /// Periodic fabric snapshot (only when monitoring is enabled).
+    MonitorTick,
+}
+
+/// Outcome of one run.
+pub struct RunResult {
+    pub records: Vec<FlowRecord>,
+    pub counters: FabricCounters,
+    /// Distribution of out-of-order degrees over all OOO arrivals.
+    pub ood_histogram: LogHistogram,
+    /// Simulated time at which the run ended.
+    pub end_time: SimTime,
+    pub events_processed: u64,
+    /// Group tag per flow record (same order as `records`; incast harness).
+    pub groups: Vec<u64>,
+    /// Periodic fabric snapshots (empty unless monitoring was enabled).
+    pub timeseries: FabricTimeSeries,
+    /// Per-flow packet traces (empty unless `trace_flows` was set).
+    pub traces: FlowTraces,
+}
+
+impl RunResult {
+    pub fn summary(&self) -> FctSummary {
+        FctSummary::from_records(&self.records)
+    }
+
+    /// Completion time of each flow group (incast request): group id →
+    /// (last finish − first start) in ms, only for fully completed groups.
+    pub fn group_completion_ms(&self) -> Vec<(u64, f64)> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<u64, (u64, Option<u64>)> = BTreeMap::new();
+        for (r, g) in self.records.iter().zip(self.groups.iter()) {
+            if *g == u64::MAX {
+                continue;
+            }
+            let e = groups.entry(*g).or_insert((u64::MAX, Some(0)));
+            e.0 = e.0.min(r.start_ps);
+            e.1 = match (e.1, r.finish_ps) {
+                (Some(acc), Some(f)) => Some(acc.max(f)),
+                _ => None,
+            };
+        }
+        groups
+            .into_iter()
+            .filter_map(|(g, (start, finish))| {
+                finish.map(|f| (g, (f.saturating_sub(start)) as f64 / 1e9))
+            })
+            .collect()
+    }
+
+    /// Fraction of transmitted data packets that arrived out of order.
+    pub fn ooo_ratio(&self) -> f64 {
+        self.summary().ooo_ratio
+    }
+}
+
+pub struct Simulation {
+    cfg: SimConfig,
+    topo: Topology,
+    q: EventQueue<Event>,
+    leaves: Vec<Switch>,
+    spines: Vec<Switch>,
+    hosts: Vec<Host>,
+    /// Control frames queued at each host NIC (ACK/NAK/CNP), strict
+    /// priority over data and immune to PFC pausing.
+    host_ctrl: Vec<std::collections::VecDeque<Packet>>,
+    flows: Vec<FlowState>,
+    counters: FabricCounters,
+    ood_histogram: LogHistogram,
+    completed: usize,
+    /// Scratch buffer for per-decision path snapshots (no per-packet alloc).
+    path_scratch: Vec<PathInfo>,
+    /// CNM relay TTL.
+    cnm_ttl: u8,
+    timeseries: FabricTimeSeries,
+    traces: FlowTraces,
+}
+
+/// Encode a switch identity into the CNM origin field.
+fn encode_node(n: Node) -> u32 {
+    match n {
+        Node::Leaf(l) => l,
+        Node::Spine(s) => 0x8000_0000 | s,
+        Node::Host(_) => unreachable!("hosts never originate CNMs"),
+    }
+}
+
+fn decode_node(v: u32) -> Node {
+    if v & 0x8000_0000 != 0 {
+        Node::Spine(v & 0x7FFF_FFFF)
+    } else {
+        Node::Leaf(v)
+    }
+}
+
+impl Simulation {
+    pub fn new(cfg: SimConfig, specs: Vec<FlowSpec>) -> Simulation {
+        cfg.validate().expect("invalid SimConfig");
+        let topo = Topology::new(cfg.topo.clone());
+        let n_leaves = cfg.topo.n_leaves;
+        let n_spines = cfg.topo.n_spines;
+        let hpl = cfg.topo.hosts_per_leaf;
+        let d = cfg.topo.link_delay_ps;
+
+        // Base RTT estimate seeding the per-path estimators: 8 link hops
+        // (4 out, 4 back) of propagation + serialization.
+        let mtu_wire = cfg.mtu_wire_bytes() as u64;
+        let base_rtt_ns =
+            (2 * cfg.topo.base_one_way_ps(mtu_wire)) as f64 / 1e3;
+
+        let contributor_window = cfg
+            .rlb
+            .as_ref()
+            .map(|r| 4 * r.warn_lifetime_ps)
+            .unwrap_or(10_000_000);
+
+        let mut leaves = Vec::with_capacity(n_leaves as usize);
+        for l in 0..n_leaves {
+            let n_ports = (hpl + n_spines) as usize;
+            let rates: Vec<u64> = (0..n_ports as u16)
+                .map(|p| topo.port_rate_bps(Node::Leaf(l), p))
+                .collect();
+            let mut sw = Switch::new(
+                n_ports,
+                cfg.switch.clone(),
+                rates,
+                contributor_window,
+                substream(cfg.seed, b"switch-leaf", l as u64),
+            );
+            // The deployed LB scheme, optionally wrapped in RLB.
+            let inner = rlb_lb::build(
+                cfg.scheme,
+                cfg.transport.mtu_bytes as u64,
+                substream(cfg.seed, b"lb-leaf", l as u64),
+            );
+            let lb = match &cfg.rlb {
+                Some(rcfg) => LbInstance::Rlb(Rlb::new(inner, rcfg.clone())),
+                None => LbInstance::Vanilla(inner),
+            };
+            sw.leaf = Some(LeafState::new(
+                lb,
+                n_spines as usize,
+                n_leaves as usize,
+                base_rtt_ns,
+            ));
+            if let Some(rcfg) = &cfg.rlb {
+                sw.predictors = (0..n_ports)
+                    .map(|_| {
+                        Self::make_predictor(&cfg, rcfg, d)
+                    })
+                    .collect();
+            }
+            leaves.push(sw);
+        }
+
+        let mut spines = Vec::with_capacity(n_spines as usize);
+        for s in 0..n_spines {
+            let n_ports = n_leaves as usize;
+            let rates: Vec<u64> = (0..n_ports as u16)
+                .map(|p| topo.port_rate_bps(Node::Spine(s), p))
+                .collect();
+            let mut sw = Switch::new(
+                n_ports,
+                cfg.switch.clone(),
+                rates,
+                contributor_window,
+                substream(cfg.seed, b"switch-spine", s as u64),
+            );
+            if let Some(rcfg) = &cfg.rlb {
+                sw.predictors = (0..n_ports)
+                    .map(|_| Self::make_predictor(&cfg, rcfg, d))
+                    .collect();
+            }
+            spines.push(sw);
+        }
+
+        let n_hosts = topo.n_hosts();
+        let mut hosts: Vec<Host> = (0..n_hosts).map(Host::new).collect();
+        let host_ctrl = vec![std::collections::VecDeque::new(); n_hosts as usize];
+
+        // IRN window: one bandwidth-delay product of full-size packets
+        // (IRN's "BDP-FC"), with a small floor.
+        let irn_window = ((2.0 * cfg.topo.base_one_way_ps(mtu_wire) as f64 / 1e12)
+            * cfg.topo.host_link_rate_bps as f64
+            / (8.0 * mtu_wire as f64))
+            .ceil()
+            .max(4.0) as u32;
+
+        let mut q = EventQueue::new();
+        let mut flows = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            assert!(spec.src_host < n_hosts && spec.dst_host < n_hosts);
+            assert_ne!(spec.src_host, spec.dst_host, "flow to self");
+            let dcqcn = rlb_transport::DcqcnConfig {
+                line_rate_bps: cfg.topo.host_link_rate_bps as f64,
+                ..cfg.transport.dcqcn.clone()
+            };
+            let fs = FlowState::with_mode(
+                spec,
+                cfg.transport.mtu_bytes,
+                dcqcn,
+                cfg.transport.mode,
+                irn_window,
+            );
+            hosts[spec.src_host as usize].tx_flows.push(i as u32);
+            q.schedule(spec.start, Event::FlowStart(i as u32));
+            flows.push(fs);
+        }
+
+        let cfg_trace_flows = cfg.trace_flows.clone();
+        Simulation {
+            topo,
+            q,
+            leaves,
+            spines,
+            hosts,
+            host_ctrl,
+            flows,
+            counters: FabricCounters::default(),
+            ood_histogram: LogHistogram::new(),
+            completed: 0,
+            path_scratch: Vec::with_capacity(n_spines as usize),
+            cnm_ttl: 4,
+            timeseries: FabricTimeSeries::default(),
+            traces: FlowTraces::new(&cfg_trace_flows),
+            cfg,
+        }
+    }
+
+    fn make_predictor(cfg: &SimConfig, rcfg: &rlb_core::RlbConfig, d_ps: u64) -> PfcPredictor {
+        // Fan-in estimate for the conservative Qth range: the worst case at
+        // any ingress is the larger of the spine and host port counts.
+        let n = cfg.topo.n_spines.max(cfg.topo.hosts_per_leaf);
+        let qth = conservative_qth(
+            rcfg.qth_fraction,
+            d_ps,
+            cfg.topo.link_rate_bps,
+            n,
+            cfg.switch.pfc_threshold_bytes,
+        );
+        PfcPredictor::new(
+            qth.min(cfg.switch.pfc_threshold_bytes),
+            cfg.switch.pfc_threshold_bytes,
+            rcfg.horizon_ps,
+        )
+    }
+
+    #[inline]
+    fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    #[inline]
+    fn switch_mut(&mut self, node: Node) -> &mut Switch {
+        match node {
+            Node::Leaf(l) => &mut self.leaves[l as usize],
+            Node::Spine(s) => &mut self.spines[s as usize],
+            Node::Host(_) => panic!("not a switch"),
+        }
+    }
+
+    /// Run to completion: stops when all flows finished, the event queue
+    /// drains, or the hard-stop horizon passes.
+    pub fn run(mut self) -> RunResult {
+        if let Some(m) = &self.cfg.monitor {
+            let at = SimTime(m.interval.as_ps());
+            self.q.schedule(at, Event::MonitorTick);
+        }
+        let hard_stop = self.cfg.hard_stop;
+        let mut events: u64 = 0;
+        while let Some((t, ev)) = self.q.pop() {
+            if t > hard_stop {
+                break;
+            }
+            events += 1;
+            self.dispatch(ev);
+            if self.completed == self.flows.len() {
+                break;
+            }
+        }
+        let end_time = self.now();
+        let groups: Vec<u64> = self.flows.iter().map(|f| f.spec.group).collect();
+        let records = self.build_records();
+        let mut counters = self.counters.clone();
+        for sw in self.leaves.iter().chain(self.spines.iter()) {
+            counters.buffer_drops += sw.drops;
+            counters.ecn_marks += sw.ecn_marks;
+        }
+        // Fold the per-leaf RLB decision counters in.
+        for sw in &self.leaves {
+            if let Some(ls) = &sw.leaf {
+                if let LbInstance::Rlb(rlb) = &ls.lb {
+                    counters.reroutes += rlb.stats.reroutes;
+                    counters.forwards_unwarned += rlb.stats.forwards_unwarned;
+                    counters.recirculation_budget_exhausted += rlb.stats.forced_out;
+                }
+            }
+        }
+        RunResult {
+            records,
+            counters,
+            ood_histogram: self.ood_histogram,
+            end_time,
+            events_processed: events,
+            groups,
+            timeseries: self.timeseries,
+            traces: self.traces,
+        }
+    }
+
+    fn build_records(&self) -> Vec<FlowRecord> {
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| FlowRecord {
+                flow_id: i as u64,
+                src_host: f.spec.src_host,
+                dst_host: f.spec.dst_host,
+                size_bytes: f.spec.size_bytes,
+                total_packets: f.total_packets,
+                start_ps: f.spec.start.as_ps(),
+                finish_ps: f.finish_ps,
+                ooo_packets: f.reliability.ooo_packets(),
+                max_ood: f.reliability.max_ood() as u64,
+                packets_sent: f.reliability.packets_sent(),
+                naks: f.reliability.naks(),
+                recirculations: f.recirculations,
+            })
+            .collect()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::FlowStart(f) => self.on_flow_start(f),
+            Event::HostWake(h) => self.on_host_wake(h),
+            Event::LinkArrive { node, port, pkt } => self.on_link_arrive(node, port, pkt),
+            Event::EgressDone { node, port, release } => self.on_egress_done(node, port, release),
+            Event::HostEgressDone(h) => self.on_host_egress_done(h),
+            Event::PauseFrame { node, port, pause } => self.on_pause_frame(node, port, pause),
+            Event::PredictorSample { node, port } => self.on_predictor_sample(node, port),
+            Event::Recirculate { node, pkt } => self.on_recirculate(node, pkt),
+            Event::AlphaTimer(f) => self.on_alpha_timer(f),
+            Event::IncreaseTimer(f) => self.on_increase_timer(f),
+            Event::RtoCheck(f) => self.on_rto_check(f),
+            Event::MonitorTick => self.on_monitor_tick(),
+        }
+    }
+
+    fn on_monitor_tick(&mut self) {
+        let now = self.now();
+        let mut buffered = 0u64;
+        let mut paused_ports = 0u32;
+        let mut max_q = 0u64;
+        for sw in self.leaves.iter().chain(self.spines.iter()) {
+            buffered += sw.shared_used;
+            for ep in &sw.egress {
+                if ep.paused {
+                    paused_ports += 1;
+                }
+                max_q = max_q.max(ep.data_q_bytes);
+            }
+        }
+        let paused_hosts = self.hosts.iter().filter(|h| h.paused).count() as u32;
+        let active_flows = self
+            .flows
+            .iter()
+            .filter(|f| f.started && !f.is_complete())
+            .count() as u32;
+        self.timeseries.samples.push(FabricSample {
+            t_ps: now.as_ps(),
+            buffered_bytes: buffered,
+            paused_ports,
+            paused_hosts,
+            active_flows,
+            max_egress_queue_bytes: max_q,
+        });
+        if let Some(m) = &self.cfg.monitor {
+            self.q.schedule(now + m.interval, Event::MonitorTick);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Host side
+    // ------------------------------------------------------------------
+
+    fn on_flow_start(&mut self, f: u32) {
+        let now = self.now();
+        {
+            let fs = &mut self.flows[f as usize];
+            fs.started = true;
+            fs.next_eligible_ps = now.as_ps();
+        }
+        let t = &self.cfg.transport;
+        self.q.schedule(
+            now + SimDuration(t.dcqcn.alpha_timer_ps),
+            Event::AlphaTimer(f),
+        );
+        self.q.schedule(
+            now + SimDuration(t.dcqcn.increase_timer_ps),
+            Event::IncreaseTimer(f),
+        );
+        self.q.schedule(now + SimDuration(t.rto_ps), Event::RtoCheck(f));
+        let host = self.flows[f as usize].spec.src_host;
+        self.host_try_send(host);
+    }
+
+    fn on_host_wake(&mut self, h: u32) {
+        if self.hosts[h as usize].wake_at == Some(self.now().as_ps()) {
+            self.hosts[h as usize].wake_at = None;
+        }
+        self.host_try_send(h);
+    }
+
+    fn on_host_egress_done(&mut self, h: u32) {
+        self.hosts[h as usize].busy = false;
+        self.host_try_send(h);
+    }
+
+    /// NIC arbitration: control first (pause-immune), then one data packet
+    /// from the round-robin-eligible flow, else a pacing wake-up.
+    fn host_try_send(&mut self, h: u32) {
+        let now = self.now();
+        if self.hosts[h as usize].busy {
+            return;
+        }
+        // Control frames first — they ride the lossless control class.
+        if let Some(pkt) = self.host_ctrl[h as usize].pop_front() {
+            self.host_transmit(h, pkt);
+            return;
+        }
+        if self.hosts[h as usize].paused {
+            return; // data class paused by the leaf's PFC
+        }
+        let picked = {
+            let host = &mut self.hosts[h as usize];
+            host.pick_eligible(&self.flows, now.as_ps())
+        };
+        if let Some(f) = picked {
+            let pkt = {
+                let mtu = self.cfg.transport.mtu_bytes;
+                let hdr = self.cfg.transport.hdr_bytes;
+                let fs = &mut self.flows[f as usize];
+                let psn = fs.reliability.take_next().expect("eligible flow has data");
+                let wire = fs.payload_bytes(psn, mtu) + hdr;
+                fs.dcqcn.on_bytes_sent(wire as u64);
+                let gap = fs.dcqcn.pacing_delay_ps(wire as u64);
+                fs.next_eligible_ps = fs.next_eligible_ps.max(now.as_ps()) + gap;
+                Packet::data(f, psn, wire, fs.spec.src_host, fs.spec.dst_host, now.as_ps())
+            };
+            if self.traces.wants(f) {
+                self.traces.record(f, now.as_ps(), pkt.psn, TraceEvent::Sent);
+            }
+            self.host_transmit(h, pkt);
+            return;
+        }
+        // Nothing eligible now: wake at the earliest pacing deadline.
+        let deadline = self.hosts[h as usize].earliest_deadline(&self.flows);
+        if let Some(d) = deadline {
+            let d = d.max(now.as_ps());
+            let sooner = self.hosts[h as usize]
+                .wake_at
+                .map_or(true, |w| d < w || w < now.as_ps());
+            if sooner {
+                self.hosts[h as usize].wake_at = Some(d);
+                self.q.schedule(SimTime(d), Event::HostWake(h));
+            }
+        }
+    }
+
+    fn host_transmit(&mut self, h: u32, pkt: Packet) {
+        let now = self.now();
+        self.hosts[h as usize].busy = true;
+        let rate = self.cfg.topo.host_link_rate_bps;
+        let ser = tx_delay(pkt.size_bytes as u64, rate);
+        let prop = SimDuration(self.cfg.topo.link_delay_ps);
+        let (peer, peer_port) = self.topo.peer(Node::Host(h), 0);
+        self.q.schedule(now + ser, Event::HostEgressDone(h));
+        self.q.schedule(
+            now + ser + prop,
+            Event::LinkArrive {
+                node: peer,
+                port: peer_port,
+                pkt,
+            },
+        );
+    }
+
+    /// Queue a control frame at a host NIC and kick the NIC.
+    fn host_send_control(&mut self, h: u32, pkt: Packet) {
+        debug_assert!(pkt.kind.is_control());
+        self.host_ctrl[h as usize].push_back(pkt);
+        self.host_try_send(h);
+    }
+
+    fn on_host_rx(&mut self, h: u32, pkt: Packet) {
+        let now = self.now();
+        match pkt.kind {
+            PacketKind::Data => {
+                debug_assert_eq!(pkt.dst_host, h);
+                let ctrl_bytes = self.cfg.transport.ctrl_bytes;
+                let cnp_interval = self.cfg.transport.dcqcn.cnp_interval_ps;
+                let fs = &mut self.flows[pkt.flow as usize];
+                // DCQCN NP: CE-marked arrivals elicit CNPs (rate-limited),
+                // regardless of PSN order.
+                let mut responses: [Option<Packet>; 2] = [None, None];
+                if pkt.ecn && fs.cnp_gen.on_marked_packet(now.as_ps(), cnp_interval) {
+                    responses[0] = Some(Packet::response(
+                        PacketKind::Cnp,
+                        &pkt,
+                        0,
+                        ctrl_bytes));
+                }
+                #[allow(unused_assignments)]
+                let mut trace_ev: Option<TraceEvent> = None;
+                match &mut fs.reliability {
+                    Reliability::Gbn { rx, .. } => match rx.on_packet(pkt.psn) {
+                        rlb_transport::RxAction::Deliver { ack_psn } => {
+                            trace_ev = Some(TraceEvent::Delivered);
+                            responses[1] =
+                                Some(Packet::response(PacketKind::Ack, &pkt, ack_psn, ctrl_bytes));
+                        }
+                        rlb_transport::RxAction::OutOfOrder { nak_psn, ood } => {
+                            trace_ev = Some(TraceEvent::OutOfOrder { ood });
+                            self.ood_histogram.record(ood as u64);
+                            if let Some(nak) = nak_psn {
+                                responses[1] =
+                                    Some(Packet::response(PacketKind::Nak, &pkt, nak, ctrl_bytes));
+                            }
+                        }
+                        rlb_transport::RxAction::Duplicate => {
+                            trace_ev = Some(TraceEvent::Duplicate);
+                        }
+                    },
+                    Reliability::Irn { rx, .. } => {
+                        if pkt.psn > rx.cumulative() {
+                            self.ood_histogram.record((pkt.psn - rx.cumulative()) as u64);
+                        }
+                        let ood = pkt.psn.saturating_sub(rx.cumulative());
+                        match rx.on_packet(pkt.psn) {
+                            Some(ack) => {
+                                trace_ev = Some(if ack.nack {
+                                    TraceEvent::OutOfOrder { ood }
+                                } else {
+                                    TraceEvent::Delivered
+                                });
+                                let mut resp =
+                                    Packet::response(PacketKind::Ack, &pkt, ack.sack, ctrl_bytes);
+                                resp.cum = ack.cumulative;
+                                resp.nack = ack.nack;
+                                responses[1] = Some(resp);
+                            }
+                            None => trace_ev = Some(TraceEvent::Duplicate),
+                        }
+                    }
+                }
+                if let Some(ev) = trace_ev {
+                    if self.traces.wants(pkt.flow) {
+                        self.traces.record(pkt.flow, now.as_ps(), pkt.psn, ev);
+                    }
+                }
+                for r in responses.into_iter().flatten() {
+                    self.host_send_control(h, r);
+                }
+            }
+            PacketKind::Ack => {
+                // RTT sample + CE echo → source-leaf estimators.
+                if pkt.path != NO_PATH {
+                    let src_leaf = self.topo.leaf_of_host(h);
+                    let dst_leaf = self.topo.leaf_of_host(pkt.src_host);
+                    let rtt_ns = (now.as_ps().saturating_sub(pkt.sent_ps)) as f64 / 1e3;
+                    if let Some(leaf) = self.leaves[src_leaf as usize].leaf.as_mut() {
+                        leaf.observe(pkt.path as usize, dst_leaf as usize, rtt_ns, pkt.ecn);
+                    }
+                }
+                let fs = &mut self.flows[pkt.flow as usize];
+                let mut irn_has_retx = false;
+                match &mut fs.reliability {
+                    Reliability::Gbn { tx, .. } => tx.on_ack(pkt.psn),
+                    Reliability::Irn { tx, .. } => {
+                        tx.on_ack(rlb_transport::IrnAck {
+                            cumulative: pkt.cum,
+                            sack: pkt.psn,
+                            nack: pkt.nack,
+                        });
+                        irn_has_retx = tx.peek_next().is_some();
+                    }
+                }
+                if fs.reliability.sender_complete() && fs.finish_ps.is_none() {
+                    fs.finish_ps = Some(now.as_ps());
+                    self.completed += 1;
+                    let flow_id = pkt.flow as u64;
+                    let src_leaf = self.topo.leaf_of_host(h) as usize;
+                    if let Some(leaf) = self.leaves[src_leaf].leaf.as_mut() {
+                        leaf.lb.on_flow_complete(flow_id);
+                    }
+                    self.hosts[h as usize].gc_flows(&self.flows);
+                } else if irn_has_retx {
+                    // A NACK opened retransmission work (or the window
+                    // reopened): kick the NIC.
+                    self.host_try_send(h);
+                }
+            }
+            PacketKind::Nak => {
+                if self.traces.wants(pkt.flow) {
+                    self.traces
+                        .record(pkt.flow, now.as_ps(), pkt.psn, TraceEvent::NakReceived);
+                }
+                if let Reliability::Gbn { tx, .. } =
+                    &mut self.flows[pkt.flow as usize].reliability
+                {
+                    tx.on_nak(pkt.psn);
+                }
+                self.host_try_send(h);
+            }
+            PacketKind::Cnp => {
+                self.flows[pkt.flow as usize].dcqcn.on_cnp();
+            }
+            PacketKind::Cnm { .. } => {
+                // Hosts do not participate in rerouting; drop.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Switch side
+    // ------------------------------------------------------------------
+
+    fn on_link_arrive(&mut self, node: Node, port: u16, pkt: Packet) {
+        match node {
+            Node::Host(h) => self.on_host_rx(h, pkt),
+            _ => self.switch_rx(node, port, pkt),
+        }
+    }
+
+    fn switch_rx(&mut self, node: Node, in_port: u16, mut pkt: Packet) {
+        if let PacketKind::Cnm { origin_node, origin_ingress_port, ttl } = pkt.kind {
+            self.handle_cnm(node, in_port, origin_node, origin_ingress_port, ttl);
+            return;
+        }
+        if pkt.kind.is_control() {
+            let out = self.route_control(node, &pkt);
+            let sw = self.switch_mut(node);
+            sw.enqueue(out, pkt);
+            self.try_transmit(node, out);
+            return;
+        }
+        // Data plane: buffer admission + PFC accounting.
+        let (admitted, action) = {
+            let sw = self.switch_mut(node);
+            match sw.admit_data(in_port, pkt.size_bytes) {
+                Ok(a) => (true, a),
+                Err(()) => (false, PfcAction::None),
+            }
+        };
+        if !admitted {
+            return; // tail-dropped; go-back-N will recover end-to-end
+        }
+        self.apply_pfc_action(node, action);
+        pkt.ingress_port = in_port;
+        self.counters.switch_packets += 1;
+        self.maybe_activate_sampler(node, in_port);
+        self.route_data(node, in_port, pkt);
+    }
+
+    /// Egress port for a control frame. Control takes ECMP (hash) at the
+    /// leaf — its ordering is irrelevant and it must not perturb the
+    /// data-plane LB state.
+    fn route_control(&self, node: Node, pkt: &Packet) -> u16 {
+        match node {
+            Node::Leaf(l) => {
+                let dst_leaf = self.topo.leaf_of_host(pkt.dst_host);
+                if dst_leaf == l {
+                    self.topo.leaf_port_of_host(pkt.dst_host)
+                } else {
+                    let s = (crate::hash_u64(pkt.flow as u64 ^ 0xC0FFEE)
+                        % self.cfg.topo.n_spines as u64) as u32;
+                    self.topo.leaf_uplink_port(s)
+                }
+            }
+            Node::Spine(_) => self.topo.leaf_of_host(pkt.dst_host) as u16,
+            Node::Host(_) => unreachable!(),
+        }
+    }
+
+    /// Route a data packet: deterministic except at the source leaf's
+    /// uplink choice, where the LB scheme (and RLB) decide.
+    fn route_data(&mut self, node: Node, in_port: u16, mut pkt: Packet) {
+        let now = self.now();
+        let out: u16 = match node {
+            Node::Spine(_) => self.topo.leaf_of_host(pkt.dst_host) as u16,
+            Node::Leaf(l) => {
+                let dst_leaf = self.topo.leaf_of_host(pkt.dst_host);
+                if dst_leaf == l {
+                    self.topo.leaf_port_of_host(pkt.dst_host)
+                } else {
+                    // --- the load-balancing decision point ---
+                    self.assemble_paths(l, dst_leaf);
+                    let paths = std::mem::take(&mut self.path_scratch);
+                    // Path-restricted flows (Fig. 4a's experimental control)
+                    // only see a prefix of the uplinks.
+                    let visible = match self.flows[pkt.flow as usize].spec.path_limit {
+                        Some(k) => &paths[..(k as usize).min(paths.len())],
+                        None => &paths[..],
+                    };
+                    let ctx = Ctx {
+                        now_ps: now.as_ps(),
+                        flow_id: pkt.flow as u64,
+                        dst_leaf,
+                        seq: pkt.psn,
+                        pkt_bytes: pkt.size_bytes,
+                        paths: visible,
+                    };
+                    let decision = {
+                        let leaf = self.leaves[l as usize].leaf.as_mut().expect("leaf state");
+                        match &mut leaf.lb {
+                            LbInstance::Vanilla(lb) => Decision::Forward(lb.select(&ctx)),
+                            LbInstance::Rlb(rlb) => rlb.decide(&ctx, pkt.recircs as u32),
+                        }
+                    };
+                    self.path_scratch = paths;
+                    self.path_scratch.clear();
+                    match decision {
+                        Decision::Forward(s) => {
+                            pkt.path = s as u8;
+                            if self.traces.wants(pkt.flow) {
+                                self.traces.record(
+                                    pkt.flow,
+                                    now.as_ps(),
+                                    pkt.psn,
+                                    TraceEvent::Routed { path: s as u8 },
+                                );
+                            }
+                            self.topo.leaf_uplink_port(s as u32)
+                        }
+                        Decision::Recirculate => {
+                            if self.traces.wants(pkt.flow) {
+                                self.traces.record(
+                                    pkt.flow,
+                                    now.as_ps(),
+                                    pkt.psn,
+                                    TraceEvent::Recirculated,
+                                );
+                            }
+                            self.counters.recirculations += 1;
+                            self.flows[pkt.flow as usize].recirculations += 1;
+                            pkt.recircs = pkt.recircs.saturating_add(1);
+                            let t_rc = self
+                                .cfg
+                                .rlb
+                                .as_ref()
+                                .map(|r| r.t_rc_ps)
+                                .expect("recirculation without RLB");
+                            self.q.schedule(
+                                now + SimDuration(t_rc),
+                                Event::Recirculate { node, pkt },
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            Node::Host(_) => unreachable!(),
+        };
+        // Dynamic-threshold egress admission, then ECN congestion-point
+        // marking against the egress data queue.
+        let mark = {
+            let sw = self.switch_mut(node);
+            if sw.dt_exceeded(out) {
+                sw.drops += 1;
+                let action = sw.release_data(pkt.ingress_port, pkt.size_bytes);
+                self.apply_pfc_action(node, action);
+                return;
+            }
+            sw.contributors.record(out as usize, in_port as usize, now.as_ps());
+            sw.ecn_mark(out)
+        };
+        pkt.ecn |= mark;
+        self.switch_mut(node).enqueue(out, pkt);
+        self.try_transmit(node, out);
+    }
+
+    fn on_recirculate(&mut self, node: Node, pkt: Packet) {
+        // The packet kept its buffer share while looping; it re-enters the
+        // routing pipeline with its original ingress accounting.
+        let in_port = pkt.ingress_port;
+        self.route_data(node, in_port, pkt);
+    }
+
+    /// Snapshot every uplink's state for the LB decision.
+    fn assemble_paths(&mut self, leaf: u32, dst_leaf: u32) {
+        let now_ps = self.now().as_ps();
+        let n_spines = self.cfg.topo.n_spines;
+        let hpl = self.cfg.topo.hosts_per_leaf;
+        let rlb_on = self.cfg.rlb.is_some();
+        self.path_scratch.clear();
+        let sw = &self.leaves[leaf as usize];
+        let ls = sw.leaf.as_ref().expect("leaf state");
+        for s in 0..n_spines {
+            let port = (hpl + s) as usize;
+            let ep = &sw.egress[port];
+            self.path_scratch.push(PathInfo {
+                queue_bytes: ep.data_q_bytes,
+                paused: ep.paused,
+                warned: rlb_on && ls.warnings.is_warned(s as usize, dst_leaf as usize, now_ps),
+                rtt_ns: ls.rtt(s as usize, dst_leaf as usize),
+                ecn_fraction: ls.ecn(s as usize, dst_leaf as usize),
+                link_rate_bps: ep.rate_bps as f64,
+            });
+        }
+    }
+
+    fn try_transmit(&mut self, node: Node, port: u16) {
+        let now = self.now();
+        let (pkt, rate) = {
+            let sw = self.switch_mut(node);
+            if sw.egress[port as usize].busy {
+                return;
+            }
+            match sw.next_to_transmit(port) {
+                Some(p) => {
+                    sw.egress[port as usize].busy = true;
+                    (p, sw.egress[port as usize].rate_bps)
+                }
+                None => return,
+            }
+        };
+        let ser = tx_delay(pkt.size_bytes as u64, rate);
+        let prop = SimDuration(self.cfg.topo.link_delay_ps);
+        let release = (!pkt.kind.is_control()).then_some((pkt.ingress_port, pkt.size_bytes));
+        let (peer, peer_port) = self.topo.peer(node, port);
+        self.q.schedule(now + ser, Event::EgressDone { node, port, release });
+        self.q.schedule(
+            now + ser + prop,
+            Event::LinkArrive {
+                node: peer,
+                port: peer_port,
+                pkt,
+            },
+        );
+    }
+
+    fn on_egress_done(&mut self, node: Node, port: u16, release: Option<(u16, u32)>) {
+        let action = {
+            let sw = self.switch_mut(node);
+            sw.egress[port as usize].busy = false;
+            match release {
+                Some((ingress, bytes)) => sw.release_data(ingress, bytes),
+                None => PfcAction::None,
+            }
+        };
+        self.apply_pfc_action(node, action);
+        self.try_transmit(node, port);
+    }
+
+    fn apply_pfc_action(&mut self, node: Node, action: PfcAction) {
+        let now = self.now();
+        let prop = SimDuration(self.cfg.topo.link_delay_ps);
+        let (port, pause) = match action {
+            PfcAction::None => return,
+            PfcAction::SendPause(p) => {
+                self.counters.pause_frames += 1;
+                (p, true)
+            }
+            PfcAction::SendResume(p) => {
+                self.counters.resume_frames += 1;
+                (p, false)
+            }
+        };
+        let (peer, peer_port) = self.topo.peer(node, port);
+        self.q.schedule(
+            now + prop,
+            Event::PauseFrame {
+                node: peer,
+                port: peer_port,
+                pause,
+            },
+        );
+    }
+
+    fn on_pause_frame(&mut self, node: Node, port: u16, pause: bool) {
+        let now_ps = self.now().as_ps();
+        match node {
+            Node::Host(h) => {
+                let host = &mut self.hosts[h as usize];
+                if pause && !host.paused {
+                    host.paused = true;
+                    host.paused_since_ps = now_ps;
+                } else if !pause && host.paused {
+                    host.paused = false;
+                    self.counters.paused_port_time_ps += now_ps - host.paused_since_ps;
+                    self.host_try_send(h);
+                }
+            }
+            _ => {
+                let was_paused = {
+                    let sw = self.switch_mut(node);
+                    let ep = &mut sw.egress[port as usize];
+                    let was = ep.paused;
+                    if pause && !was {
+                        ep.paused = true;
+                        ep.paused_since_ps = now_ps;
+                    } else if !pause && was {
+                        ep.paused = false;
+                    }
+                    was
+                };
+                if !pause && was_paused {
+                    let since = self.switch_mut(node).egress[port as usize].paused_since_ps;
+                    self.counters.paused_port_time_ps += now_ps - since;
+                    self.try_transmit(node, port);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // RLB: prediction and CNM plumbing
+    // ------------------------------------------------------------------
+
+    /// Start the Δt sampling loop for an ingress port once it shows
+    /// congestion (half the warning threshold), per §3.2.1's "only performs
+    /// prediction when there is congestion".
+    fn maybe_activate_sampler(&mut self, node: Node, in_port: u16) {
+        if self.cfg.rlb.is_none() {
+            return;
+        }
+        let dt = self.cfg.rlb.as_ref().unwrap().dt_ps;
+        let now = self.now();
+        let activate = {
+            let sw = self.switch_mut(node);
+            if sw.predictors.is_empty() || sw.sampler_active[in_port as usize] {
+                false
+            } else {
+                let activation = sw.predictors[in_port as usize].qth_bytes() / 2;
+                sw.ingress_bytes[in_port as usize] >= activation.max(1)
+            }
+        };
+        if activate {
+            let sw = self.switch_mut(node);
+            sw.sampler_active[in_port as usize] = true;
+            sw.predictors[in_port as usize].reset();
+            self.q.schedule(
+                now + SimDuration(dt),
+                Event::PredictorSample { node, port: in_port },
+            );
+        }
+    }
+
+    fn on_predictor_sample(&mut self, node: Node, port: u16) {
+        let Some(rcfg) = self.cfg.rlb.clone() else {
+            return;
+        };
+        let now = self.now();
+        let (pred, qlen) = {
+            let sw = self.switch_mut(node);
+            let q = sw.ingress_bytes[port as usize];
+            (sw.predictors[port as usize].on_sample(now.as_ps(), q), q)
+        };
+        if pred == Prediction::Warn {
+            self.counters.cnm_generated += 1;
+            self.send_cnm_upstream(node, port, encode_node(node), port, self.cnm_ttl);
+        }
+        // Keep sampling while the port stays congested.
+        let activation = {
+            let sw = self.switch_mut(node);
+            sw.predictors[port as usize].qth_bytes() / 2
+        };
+        if qlen >= activation.max(1) || pred == Prediction::Warn {
+            self.q
+                .schedule(now + SimDuration(rcfg.dt_ps), Event::PredictorSample { node, port });
+        } else {
+            let sw = self.switch_mut(node);
+            sw.sampler_active[port as usize] = false;
+            sw.predictors[port as usize].reset();
+        }
+    }
+
+    /// Emit a CNM out of `out_port`'s reverse link (toward the upstream
+    /// neighbour feeding that ingress). Skips host neighbours — servers
+    /// cannot reroute.
+    fn send_cnm_upstream(
+        &mut self,
+        node: Node,
+        out_port: u16,
+        origin_node: u32,
+        origin_port: u16,
+        ttl: u8,
+    ) {
+        let (peer, _) = self.topo.peer(node, out_port);
+        if matches!(peer, Node::Host(_)) {
+            return;
+        }
+        let pkt = Packet {
+            kind: PacketKind::Cnm {
+                origin_node,
+                origin_ingress_port: origin_port,
+                ttl,
+            },
+            flow: u32::MAX,
+            psn: 0,
+            size_bytes: self.cfg.transport.ctrl_bytes,
+            src_host: u32::MAX,
+            dst_host: u32::MAX,
+            ecn: false,
+            sent_ps: self.now().as_ps(),
+            path: NO_PATH,
+            recircs: 0,
+            ingress_port: 0,
+            cum: 0,
+            nack: false,
+        };
+        let sw = self.switch_mut(node);
+        sw.enqueue(out_port, pkt);
+        self.try_transmit(node, out_port);
+    }
+
+    /// CNM arrived at `node` on `in_port`.
+    ///
+    /// * At a **leaf**, arriving from a spine: record the warning —
+    ///   path-granular if the origin is a (destination) leaf's uplink
+    ///   ingress, uplink-granular if the origin is the spine's own ingress
+    ///   from *this* leaf.
+    /// * At a **spine**: relay toward the leaves that recently contributed
+    ///   traffic to the endangered direction (the paper's flow-table
+    ///   driven hop-by-hop propagation).
+    fn handle_cnm(&mut self, node: Node, in_port: u16, origin_node: u32, origin_port: u16, ttl: u8) {
+        let now = self.now();
+        let Some(rcfg) = self.cfg.rlb.clone() else {
+            return; // CNMs in a fabric without RLB: ignore
+        };
+        match node {
+            Node::Leaf(l) => {
+                let Some(via_spine) = self.topo.spine_of_leaf_port(in_port) else {
+                    return; // CNM from a host port: not meaningful
+                };
+                let until = now.as_ps() + rcfg.warn_lifetime_ps;
+                let origin = decode_node(origin_node);
+                let sw = &mut self.leaves[l as usize];
+                let ls = sw.leaf.as_mut().expect("leaf state");
+                match origin {
+                    Node::Leaf(dst_leaf) => {
+                        // Congestion predicted at dst_leaf's ingress from
+                        // some spine: that (spine, dst_leaf) path is hot.
+                        if let Some(s) = self.topo.spine_of_leaf_port(origin_port) {
+                            if dst_leaf != l {
+                                ls.warnings.warn_path(s as usize, dst_leaf as usize, until);
+                            }
+                        }
+                    }
+                    Node::Spine(s) => {
+                        // Congestion at spine s's ingress from leaf
+                        // `origin_port`: only relevant if that leaf is us —
+                        // then every path through s from here is endangered.
+                        if origin_port as u32 == l {
+                            ls.warnings.warn_uplink(s as usize, until);
+                        } else if s == via_spine {
+                            // Another leaf overloads this spine's ingress;
+                            // its egress toward our destinations may still
+                            // pause. Treat as a mild uplink warning too.
+                            ls.warnings.warn_uplink(s as usize, until);
+                        }
+                    }
+                    Node::Host(_) => {}
+                }
+            }
+            Node::Spine(_) => {
+                if ttl == 0 {
+                    return;
+                }
+                // Relay to recent contributors of the egress pointing back
+                // at the CNM's arrival direction (the endangered path).
+                let targets: Vec<usize> = {
+                    let sw = self.switch_mut(node);
+                    sw.contributors
+                        .contributors(in_port as usize, now.as_ps())
+                        .filter(|&p| p != in_port as usize)
+                        .collect()
+                };
+                for p in targets {
+                    self.counters.cnm_relayed += 1;
+                    self.send_cnm_upstream(node, p as u16, origin_node, origin_port, ttl - 1);
+                }
+            }
+            Node::Host(_) => unreachable!(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transport timers
+    // ------------------------------------------------------------------
+
+    fn on_alpha_timer(&mut self, f: u32) {
+        let done = self.flows[f as usize].is_complete();
+        if done {
+            return;
+        }
+        self.flows[f as usize].dcqcn.on_alpha_timer();
+        let dt = SimDuration(self.cfg.transport.dcqcn.alpha_timer_ps);
+        self.q.schedule(self.now() + dt, Event::AlphaTimer(f));
+    }
+
+    fn on_increase_timer(&mut self, f: u32) {
+        if self.flows[f as usize].is_complete() {
+            return;
+        }
+        self.flows[f as usize].dcqcn.on_increase_timer();
+        // Rate may have increased — the flow could be eligible sooner.
+        let host = self.flows[f as usize].spec.src_host;
+        let dt = SimDuration(self.cfg.transport.dcqcn.increase_timer_ps);
+        self.q.schedule(self.now() + dt, Event::IncreaseTimer(f));
+        self.host_try_send(host);
+    }
+
+    fn on_rto_check(&mut self, f: u32) {
+        if self.flows[f as usize].is_complete() {
+            return;
+        }
+        let (stuck, host) = {
+            let fs = &mut self.flows[f as usize];
+            let mark = fs.reliability.progress_mark();
+            let stuck = mark == fs.last_una_at_rto && fs.reliability.has_outstanding();
+            fs.last_una_at_rto = mark;
+            (stuck, fs.spec.src_host)
+        };
+        if stuck && self.flows[f as usize].reliability.on_timeout() {
+            if self.traces.wants(f) {
+                let mark = self.flows[f as usize].reliability.progress_mark();
+                self.traces
+                    .record(f, self.now().as_ps(), mark, TraceEvent::TimeoutRewind);
+            }
+            self.host_try_send(host);
+        }
+        let dt = SimDuration(self.cfg.transport.rto_ps);
+        self.q.schedule(self.now() + dt, Event::RtoCheck(f));
+    }
+
+    // Test/diagnostic accessors ------------------------------------------------
+
+    #[cfg(test)]
+    pub(crate) fn counters(&self) -> &FabricCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnm_origin_encoding_round_trips() {
+        for node in [Node::Leaf(0), Node::Leaf(11), Node::Spine(0), Node::Spine(39)] {
+            assert_eq!(decode_node(encode_node(node)), node);
+        }
+        // Leaves and spines never collide.
+        assert_ne!(encode_node(Node::Leaf(3)), encode_node(Node::Spine(3)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn host_origin_is_rejected() {
+        encode_node(Node::Host(0));
+    }
+
+    #[test]
+    fn run_result_group_completion() {
+        // Build a RunResult by hand to exercise the group reduction.
+        let rec = |start: u64, finish: Option<u64>| rlb_metrics::FlowRecord {
+            flow_id: 0,
+            src_host: 0,
+            dst_host: 1,
+            size_bytes: 1,
+            total_packets: 1,
+            start_ps: start,
+            finish_ps: finish,
+            ooo_packets: 0,
+            max_ood: 0,
+            packets_sent: 1,
+            naks: 0,
+            recirculations: 0,
+        };
+        let res = RunResult {
+            records: vec![
+                rec(0, Some(2_000_000_000)),      // group 1
+                rec(1_000_000_000, Some(5_000_000_000)), // group 1 (last)
+                rec(0, None),                      // group 2, incomplete
+                rec(0, Some(1_000_000_000)),       // untagged
+            ],
+            counters: FabricCounters::default(),
+            ood_histogram: LogHistogram::new(),
+            end_time: SimTime::from_ms(10),
+            events_processed: 0,
+            groups: vec![1, 1, 2, u64::MAX],
+            timeseries: Default::default(),
+            traces: Default::default(),
+        };
+        let groups = res.group_completion_ms();
+        // Group 1 completes at 5 ms from start 0 → 5.0 ms; group 2 has an
+        // unfinished flow → excluded; untagged ignored.
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, 1);
+        assert!((groups[0].1 - 5.0).abs() < 1e-9);
+    }
+}

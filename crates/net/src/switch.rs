@@ -1,0 +1,383 @@
+//! The shared-memory PFC switch (Fig. 1).
+//!
+//! Each switch owns a shared buffer pool; every buffered data packet is
+//! charged against the counter of the ingress port it arrived on. When a
+//! counter crosses the PFC threshold the MMU emits PAUSE to that port's
+//! upstream peer; when it drains below threshold−hysteresis it emits
+//! RESUME. Egress is per-port FIFO with a strict-priority control queue on
+//! top (control frames are never paused, marked or counted — the standard
+//! lossless-fabric arrangement that keeps ACK/CNP/CNM flowing).
+//!
+//! This module holds the switch *state* and its local rules; the event
+//! orchestration (scheduling arrivals, transmissions, predictor samples)
+//! lives in [`crate::sim`].
+
+use crate::config::SwitchConfig;
+use crate::packet::Packet;
+use rand::Rng;
+use rlb_core::{ContributorTable, PfcPredictor, Rlb, WarningTable};
+use rlb_engine::SimRng;
+use std::collections::VecDeque;
+
+/// One egress port: data FIFO + strict-priority control FIFO.
+#[derive(Debug, Default)]
+pub struct EgressPort {
+    pub data_q: VecDeque<Packet>,
+    pub ctrl_q: VecDeque<Packet>,
+    pub data_q_bytes: u64,
+    /// A frame is currently serializing out of this port.
+    pub busy: bool,
+    /// Data class paused by a downstream PFC PAUSE.
+    pub paused: bool,
+    /// When the current pause began (for paused-time accounting).
+    pub paused_since_ps: u64,
+    /// Rate of the attached channel, bits/sec.
+    pub rate_bps: u64,
+}
+
+/// Per-leaf load-balancing state: the deployed scheme (optionally wrapped
+/// in RLB), the warning table fed by CNMs, and the per-path RTT/ECN
+/// estimators the schemes and Algorithm 1 read.
+pub struct LeafState {
+    pub lb: LbInstance,
+    pub warnings: WarningTable,
+    /// EWMA RTT estimate, ns, indexed `[spine * n_leaves + dst_leaf]`.
+    pub rtt_ns: Vec<f64>,
+    /// EWMA ECN-mark fraction, same indexing.
+    pub ecn_frac: Vec<f64>,
+    n_leaves: usize,
+}
+
+/// A leaf either runs a vanilla scheme or the RLB-wrapped version.
+pub enum LbInstance {
+    Vanilla(Box<dyn rlb_lb::LoadBalancer>),
+    Rlb(Rlb<dyn rlb_lb::LoadBalancer>),
+}
+
+impl LbInstance {
+    pub fn on_flow_complete(&mut self, flow_id: u64) {
+        match self {
+            LbInstance::Vanilla(lb) => lb.on_flow_complete(flow_id),
+            LbInstance::Rlb(rlb) => rlb.on_flow_complete(flow_id),
+        }
+    }
+}
+
+impl LeafState {
+    pub fn new(lb: LbInstance, n_spines: usize, n_leaves: usize, base_rtt_ns: f64) -> LeafState {
+        LeafState {
+            lb,
+            warnings: WarningTable::new(n_spines, n_leaves),
+            rtt_ns: vec![base_rtt_ns; n_spines * n_leaves],
+            ecn_frac: vec![0.0; n_spines * n_leaves],
+            n_leaves,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, spine: usize, dst_leaf: usize) -> usize {
+        spine * self.n_leaves + dst_leaf
+    }
+
+    /// Fold a returning ACK's RTT sample and CE echo into the estimators.
+    ///
+    /// The gain is deliberately small: Algorithm 1 compares path delays
+    /// against the recirculation cost, so the estimate must track the
+    /// *persistent* queueing difference between paths, not per-packet
+    /// jitter.
+    pub fn observe(&mut self, spine: usize, dst_leaf: usize, rtt_ns: f64, ecn: bool) {
+        const A: f64 = 0.1; // EWMA gain
+        let i = self.idx(spine, dst_leaf);
+        self.rtt_ns[i] = (1.0 - A) * self.rtt_ns[i] + A * rtt_ns;
+        self.ecn_frac[i] = (1.0 - A) * self.ecn_frac[i] + A * if ecn { 1.0 } else { 0.0 };
+    }
+
+    pub fn rtt(&self, spine: usize, dst_leaf: usize) -> f64 {
+        self.rtt_ns[self.idx(spine, dst_leaf)]
+    }
+
+    pub fn ecn(&self, spine: usize, dst_leaf: usize) -> f64 {
+        self.ecn_frac[self.idx(spine, dst_leaf)]
+    }
+}
+
+/// Instructions a switch-local operation hands back to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfcAction {
+    None,
+    /// Counter crossed the threshold upward: PAUSE the upstream of `port`.
+    SendPause(u16),
+    /// Counter drained: RESUME the upstream of `port`.
+    SendResume(u16),
+}
+
+/// One switch (leaf or spine).
+pub struct Switch {
+    pub egress: Vec<EgressPort>,
+    /// PFC byte counter per ingress port (data class only).
+    pub ingress_bytes: Vec<u64>,
+    /// We have PAUSEd the upstream of this ingress port.
+    pub paused_upstream: Vec<bool>,
+    pub shared_used: u64,
+    /// RLB predictor per ingress port (present iff RLB runs in this fabric).
+    pub predictors: Vec<PfcPredictor>,
+    /// Sampling loop currently scheduled for this ingress port.
+    pub sampler_active: Vec<bool>,
+    /// Who recently fed each egress port (CNM relay targeting).
+    pub contributors: ContributorTable,
+    /// Leaf-only state.
+    pub leaf: Option<LeafState>,
+    cfg: SwitchConfig,
+    rng: SimRng,
+    pub drops: u64,
+    pub ecn_marks: u64,
+}
+
+impl Switch {
+    pub fn new(
+        n_ports: usize,
+        cfg: SwitchConfig,
+        port_rates: Vec<u64>,
+        contributor_window_ps: u64,
+        rng: SimRng,
+    ) -> Switch {
+        assert_eq!(port_rates.len(), n_ports);
+        Switch {
+            egress: port_rates
+                .into_iter()
+                .map(|rate_bps| EgressPort {
+                    rate_bps,
+                    ..EgressPort::default()
+                })
+                .collect(),
+            ingress_bytes: vec![0; n_ports],
+            paused_upstream: vec![false; n_ports],
+            shared_used: 0,
+            predictors: Vec::new(),
+            sampler_active: vec![false; n_ports],
+            contributors: ContributorTable::new(n_ports, contributor_window_ps),
+            leaf: None,
+            cfg,
+            rng,
+            drops: 0,
+            ecn_marks: 0,
+        }
+    }
+
+    pub fn n_ports(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// Admit an arriving data packet into the shared buffer, charging its
+    /// ingress port. Returns `Err(())` on buffer overflow (tail drop) or
+    /// the PFC action the MMU demands.
+    pub fn admit_data(&mut self, in_port: u16, bytes: u32) -> Result<PfcAction, ()> {
+        if self.shared_used + bytes as u64 > self.cfg.buffer_bytes {
+            self.drops += 1;
+            return Err(());
+        }
+        self.shared_used += bytes as u64;
+        let c = &mut self.ingress_bytes[in_port as usize];
+        *c += bytes as u64;
+        if self.cfg.pfc_enabled
+            && !self.paused_upstream[in_port as usize]
+            && *c >= self.cfg.pfc_threshold_bytes
+        {
+            self.paused_upstream[in_port as usize] = true;
+            return Ok(PfcAction::SendPause(in_port));
+        }
+        Ok(PfcAction::None)
+    }
+
+    /// Release a departing data packet's buffer share; may trigger RESUME.
+    pub fn release_data(&mut self, ingress_port: u16, bytes: u32) -> PfcAction {
+        let c = &mut self.ingress_bytes[ingress_port as usize];
+        debug_assert!(*c >= bytes as u64, "ingress counter underflow");
+        *c = c.saturating_sub(bytes as u64);
+        debug_assert!(self.shared_used >= bytes as u64);
+        self.shared_used = self.shared_used.saturating_sub(bytes as u64);
+        let resume_at = self
+            .cfg
+            .pfc_threshold_bytes
+            .saturating_sub(self.cfg.pfc_hysteresis_bytes);
+        if self.paused_upstream[ingress_port as usize] && *c < resume_at {
+            self.paused_upstream[ingress_port as usize] = false;
+            PfcAction::SendResume(ingress_port)
+        } else {
+            PfcAction::None
+        }
+    }
+
+    /// Dynamic-threshold egress admission: drop when this egress queue
+    /// already holds more than `dt_alpha ×` the remaining free pool.
+    pub fn dt_exceeded(&self, port: u16) -> bool {
+        let free = self.cfg.buffer_bytes.saturating_sub(self.shared_used) as f64;
+        self.egress[port as usize].data_q_bytes as f64 > self.cfg.dt_alpha * free
+    }
+
+    /// RED/ECN mark decision for a data packet entering `port`'s queue.
+    pub fn ecn_mark(&mut self, port: u16) -> bool {
+        let q = self.egress[port as usize].data_q_bytes;
+        let e = &self.cfg.ecn;
+        let p = if q <= e.kmin_bytes {
+            0.0
+        } else if q >= e.kmax_bytes {
+            1.0
+        } else {
+            e.pmax * (q - e.kmin_bytes) as f64 / (e.kmax_bytes - e.kmin_bytes) as f64
+        };
+        let mark = p > 0.0 && self.rng.gen_bool(p.min(1.0));
+        if mark {
+            self.ecn_marks += 1;
+        }
+        mark
+    }
+
+    /// Enqueue to the proper class queue.
+    pub fn enqueue(&mut self, port: u16, pkt: Packet) {
+        let ep = &mut self.egress[port as usize];
+        if pkt.kind.is_control() {
+            ep.ctrl_q.push_back(pkt);
+        } else {
+            ep.data_q_bytes += pkt.size_bytes as u64;
+            ep.data_q.push_back(pkt);
+        }
+    }
+
+    /// Pick the next frame eligible for transmission on `port`, honouring
+    /// strict control priority and data-class pausing. Returns `None` when
+    /// the port should go idle.
+    pub fn next_to_transmit(&mut self, port: u16) -> Option<Packet> {
+        let ep = &mut self.egress[port as usize];
+        debug_assert!(!ep.busy);
+        if let Some(pkt) = ep.ctrl_q.pop_front() {
+            return Some(pkt);
+        }
+        if ep.paused {
+            return None;
+        }
+        let pkt = ep.data_q.pop_front()?;
+        ep.data_q_bytes -= pkt.size_bytes as u64;
+        Some(pkt)
+    }
+
+    pub fn config(&self) -> &SwitchConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use rlb_engine::substream;
+
+    fn sw() -> Switch {
+        let cfg = SwitchConfig {
+            buffer_bytes: 10_000,
+            pfc_threshold_bytes: 4_000,
+            pfc_hysteresis_bytes: 1_000,
+            pfc_enabled: true,
+            ..SwitchConfig::default()
+        };
+        Switch::new(4, cfg, vec![40_000_000_000; 4], 10_000_000, substream(1, b"sw", 0))
+    }
+
+    fn data(bytes: u32) -> Packet {
+        Packet::data(0, 0, bytes, 0, 1, 0)
+    }
+
+    #[test]
+    fn pause_fires_once_at_threshold_and_resume_below_hysteresis() {
+        let mut s = sw();
+        assert_eq!(s.admit_data(2, 3_000).unwrap(), PfcAction::None);
+        assert_eq!(s.admit_data(2, 1_000).unwrap(), PfcAction::SendPause(2));
+        // Further arrivals do not re-pause.
+        assert_eq!(s.admit_data(2, 1_000).unwrap(), PfcAction::None);
+        // Drain: resume only below threshold − hysteresis = 3 000.
+        assert_eq!(s.release_data(2, 1_000), PfcAction::None); // 4 000 left
+        assert_eq!(s.release_data(2, 1_000), PfcAction::None); // 3 000 left (not < 3 000)
+        assert_eq!(s.release_data(2, 1_000), PfcAction::SendResume(2)); // 2 000
+        assert!(!s.paused_upstream[2]);
+    }
+
+    #[test]
+    fn counters_are_per_ingress_port() {
+        let mut s = sw();
+        s.admit_data(0, 3_900).unwrap();
+        assert_eq!(s.admit_data(1, 3_900).unwrap(), PfcAction::None);
+        assert_eq!(s.admit_data(0, 200).unwrap(), PfcAction::SendPause(0));
+        assert_eq!(s.ingress_bytes[0], 4_100);
+        assert_eq!(s.ingress_bytes[1], 3_900);
+    }
+
+    #[test]
+    fn pfc_disabled_never_pauses() {
+        let mut s = sw();
+        s.cfg.pfc_enabled = false;
+        for _ in 0..3 {
+            assert_eq!(s.admit_data(0, 3_000).unwrap(), PfcAction::None);
+        }
+    }
+
+    #[test]
+    fn buffer_overflow_drops() {
+        let mut s = sw();
+        s.cfg.pfc_enabled = false;
+        assert!(s.admit_data(0, 9_000).is_ok());
+        assert!(s.admit_data(1, 2_000).is_err());
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.shared_used, 9_000, "dropped packet not charged");
+    }
+
+    #[test]
+    fn control_has_strict_priority_and_ignores_pause() {
+        let mut s = sw();
+        s.enqueue(0, data(1_000));
+        let mut cnp = Packet::data(0, 0, 64, 1, 0, 0);
+        cnp.kind = PacketKind::Cnp;
+        s.enqueue(0, cnp);
+        // Paused port: control still flows, data does not.
+        s.egress[0].paused = true;
+        let first = s.next_to_transmit(0).unwrap();
+        assert_eq!(first.kind, PacketKind::Cnp);
+        assert!(s.next_to_transmit(0).is_none(), "data must wait out the pause");
+        s.egress[0].paused = false;
+        assert_eq!(s.next_to_transmit(0).unwrap().kind, PacketKind::Data);
+        assert_eq!(s.egress[0].data_q_bytes, 0);
+    }
+
+    #[test]
+    fn ecn_marking_ramps_with_queue_depth() {
+        let mut s = sw();
+        // Below kmin: never marks.
+        assert!(!s.ecn_mark(0));
+        // Far above kmax: always marks.
+        s.egress[0].data_q_bytes = s.cfg.ecn.kmax_bytes + 1;
+        assert!(s.ecn_mark(0));
+        // Between: marks sometimes (DCQCN defaults: pmax=1% → ~0.5% at the
+        // midpoint of [kmin, kmax]).
+        s.egress[0].data_q_bytes = (s.cfg.ecn.kmin_bytes + s.cfg.ecn.kmax_bytes) / 2;
+        let marks: usize = (0..100_000).filter(|_| s.ecn_mark(0)).count();
+        assert!(marks > 200 && marks < 1_200, "marks={marks}");
+    }
+
+    #[test]
+    fn leaf_state_estimators_converge() {
+        let lb = LbInstance::Vanilla(rlb_lb::build(
+            rlb_lb::Scheme::Ecmp,
+            1000,
+            substream(0, b"t", 0),
+        ));
+        let mut ls = LeafState::new(lb, 4, 4, 10_000.0);
+        assert_eq!(ls.rtt(2, 3), 10_000.0);
+        for _ in 0..200 {
+            ls.observe(2, 3, 50_000.0, true);
+        }
+        assert!((ls.rtt(2, 3) - 50_000.0).abs() < 100.0);
+        assert!(ls.ecn(2, 3) > 0.95);
+        // Other paths untouched.
+        assert_eq!(ls.rtt(1, 3), 10_000.0);
+        assert_eq!(ls.ecn(2, 2), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Synthetic communication patterns beyond Poisson pair traffic:
+//! permutation and all-to-all shuffle, the two classic stress patterns for
+//! datacenter load balancing (maximum path diversity with zero endpoint
+//! contention, and maximum fan-in/fan-out respectively).
+
+use crate::spec::FlowSpec;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rlb_engine::SimTime;
+
+/// A random permutation: every host sends one flow to a distinct partner,
+/// no host receives more than one flow — endpoint-contention-free, so any
+/// FCT inflation is the fabric's (and the load balancer's) fault.
+pub fn permutation<R: Rng>(
+    num_hosts: u32,
+    hosts_per_leaf: u32,
+    flow_bytes: u64,
+    start: SimTime,
+    rng: &mut R,
+) -> Vec<FlowSpec> {
+    assert!(num_hosts >= 2);
+    // Rejection-sample a derangement whose pairs also cross leaves.
+    'outer: for _ in 0..1000 {
+        let mut dst: Vec<u32> = (0..num_hosts).collect();
+        dst.shuffle(rng);
+        for (s, &d) in dst.iter().enumerate() {
+            let s = s as u32;
+            if s == d || s / hosts_per_leaf == d / hosts_per_leaf {
+                continue 'outer;
+            }
+        }
+        return dst
+            .into_iter()
+            .enumerate()
+            .map(|(s, d)| FlowSpec::new(start, s as u32, d, flow_bytes))
+            .collect();
+    }
+    // Fallback: deterministic rotation by one leaf's worth of hosts —
+    // always a valid inter-leaf derangement.
+    (0..num_hosts)
+        .map(|s| {
+            let d = (s + hosts_per_leaf) % num_hosts;
+            FlowSpec::new(start, s, d, flow_bytes)
+        })
+        .collect()
+}
+
+/// All-to-all shuffle: every host sends `bytes_per_pair` to every other
+/// host on a different leaf (the reduce phase of a MapReduce-style job).
+/// Flows of one sender are staggered by `stagger` to avoid a synchronized
+/// thundering herd unless that is what you want (stagger = 0).
+pub fn all_to_all(
+    num_hosts: u32,
+    hosts_per_leaf: u32,
+    bytes_per_pair: u64,
+    start: SimTime,
+    stagger: rlb_engine::SimDuration,
+) -> Vec<FlowSpec> {
+    let mut flows = Vec::new();
+    for s in 0..num_hosts {
+        let mut k = 0u64;
+        for d in 0..num_hosts {
+            if s == d || s / hosts_per_leaf == d / hosts_per_leaf {
+                continue;
+            }
+            flows.push(FlowSpec::new(
+                start + stagger.mul_u64(k),
+                s,
+                d,
+                bytes_per_pair,
+            ));
+            k += 1;
+        }
+    }
+    flows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rlb_engine::SimDuration;
+
+    #[test]
+    fn permutation_is_a_cross_leaf_derangement() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let flows = permutation(24, 4, 100_000, SimTime::ZERO, &mut rng);
+        assert_eq!(flows.len(), 24);
+        let mut dsts: Vec<u32> = flows.iter().map(|f| f.dst_host).collect();
+        dsts.sort();
+        dsts.dedup();
+        assert_eq!(dsts.len(), 24, "every host receives exactly once");
+        for f in &flows {
+            assert_ne!(f.src_host, f.dst_host);
+            assert_ne!(f.src_host / 4, f.dst_host / 4, "must cross leaves");
+        }
+    }
+
+    #[test]
+    fn permutation_deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            permutation(16, 4, 1_000, SimTime::ZERO, &mut rng)
+                .iter()
+                .map(|f| f.dst_host)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn all_to_all_counts_and_stagger() {
+        // 3 leaves x 2 hosts: each host talks to 4 remote hosts.
+        let flows = all_to_all(6, 2, 50_000, SimTime::from_us(10), SimDuration::from_us(5));
+        assert_eq!(flows.len(), 6 * 4);
+        for f in &flows {
+            assert_ne!(f.src_host / 2, f.dst_host / 2);
+            assert_eq!(f.size_bytes, 50_000);
+        }
+        // Stagger: one sender's flows are spaced 5 µs apart.
+        let mine: Vec<_> = flows.iter().filter(|f| f.src_host == 0).collect();
+        assert_eq!(mine[0].start, SimTime::from_us(10));
+        assert_eq!(mine[1].start, SimTime::from_us(15));
+        assert_eq!(mine[3].start, SimTime::from_us(25));
+    }
+
+    #[test]
+    fn all_to_all_zero_stagger_is_synchronized() {
+        let flows = all_to_all(4, 2, 1_000, SimTime::ZERO, SimDuration::ZERO);
+        assert!(flows.iter().all(|f| f.start == SimTime::ZERO));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based integration tests spanning crates: arbitrary small
+//! workloads through the full simulator must uphold the global invariants
+//! regardless of scheme, RLB, seeds or flow mixes.
+
+use proptest::prelude::*;
+use rlb::core::RlbConfig;
+use rlb::engine::SimTime;
+use rlb::lb::Scheme;
+use rlb::net::{SimConfig, Simulation, TopoConfig};
+use rlb::workloads::FlowSpec;
+
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Ecmp),
+        Just(Scheme::Presto),
+        Just(Scheme::LetFlow),
+        Just(Scheme::Hermes),
+        Just(Scheme::Drill),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full simulation; keep the budget sane
+        .. ProptestConfig::default()
+    })]
+
+    /// Any batch of small flows completes on any scheme, with or without
+    /// RLB, without buffer drops (PFC on), and conservation holds:
+    /// packets_sent >= total_packets for every flow.
+    #[test]
+    fn every_flow_completes_and_conserves(
+        scheme in any_scheme(),
+        use_rlb in any::<bool>(),
+        seed in 0u64..1000,
+        flow_specs in proptest::collection::vec(
+            (0u32..12, 0u32..12, 1u64..200_000, 0u64..500_000),
+            1..12
+        ),
+    ) {
+        let cfg = SimConfig {
+            topo: TopoConfig {
+                n_leaves: 3,
+                n_spines: 2,
+                hosts_per_leaf: 4,
+                ..TopoConfig::default()
+            },
+            scheme,
+            rlb: use_rlb.then(RlbConfig::default),
+            seed,
+            hard_stop: SimTime::from_ms(200),
+            ..SimConfig::default()
+        };
+        let flows: Vec<FlowSpec> = flow_specs
+            .into_iter()
+            .filter(|(s, d, _, _)| s != d)
+            .map(|(s, d, size, start_ps)| {
+                FlowSpec::new(SimTime(start_ps), s, d, size)
+            })
+            .collect();
+        prop_assume!(!flows.is_empty());
+        let n = flows.len();
+        let res = Simulation::new(cfg, flows).run();
+        prop_assert_eq!(res.records.len(), n);
+        prop_assert_eq!(res.counters.buffer_drops, 0, "lossless violated");
+        for r in &res.records {
+            prop_assert!(r.completed(), "flow {} stuck", r.flow_id);
+            prop_assert!(r.packets_sent >= r.total_packets as u64);
+            prop_assert!(r.fct_ps().unwrap() > 0);
+        }
+    }
+
+    /// Determinism as a property: any (scheme, seed, flows) combination
+    /// replays identically.
+    #[test]
+    fn replay_is_bit_identical(
+        scheme in any_scheme(),
+        seed in 0u64..1000,
+        sizes in proptest::collection::vec(1u64..100_000, 1..6),
+    ) {
+        let build = || {
+            let cfg = SimConfig {
+                topo: TopoConfig {
+                    n_leaves: 2,
+                    n_spines: 2,
+                    hosts_per_leaf: 4,
+                    ..TopoConfig::default()
+                },
+                scheme,
+                rlb: Some(RlbConfig::default()),
+                seed,
+                hard_stop: SimTime::from_ms(100),
+                ..SimConfig::default()
+            };
+            let flows: Vec<FlowSpec> = sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &sz)| {
+                    FlowSpec::new(SimTime(i as u64 * 1_000_000), (i as u32) % 4, 4 + (i as u32) % 4, sz)
+                })
+                .collect();
+            Simulation::new(cfg, flows).run()
+        };
+        let a = build();
+        let b = build();
+        prop_assert_eq!(a.events_processed, b.events_processed);
+        let fa: Vec<_> = a.records.iter().map(|r| (r.finish_ps, r.packets_sent)).collect();
+        let fb: Vec<_> = b.records.iter().map(|r| (r.finish_ps, r.packets_sent)).collect();
+        prop_assert_eq!(fa, fb);
+    }
+}
