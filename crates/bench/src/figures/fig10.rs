@@ -188,8 +188,11 @@ mod tests {
             },
         ];
         normalize(&mut rows);
-        assert_eq!(rows[0].normalized_afct, 1.0);
-        assert_eq!(rows[1].normalized_afct, 1.5);
-        assert_eq!(rows[2].normalized_afct, 1.0, "per-workload normalization");
+        assert!((rows[0].normalized_afct - 1.0).abs() < 1e-12);
+        assert!((rows[1].normalized_afct - 1.5).abs() < 1e-12);
+        assert!(
+            (rows[2].normalized_afct - 1.0).abs() < 1e-12,
+            "per-workload normalization"
+        );
     }
 }

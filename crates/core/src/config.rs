@@ -85,7 +85,7 @@ impl RlbConfig {
         if self.dt_ps == 0 {
             return Err("dt_ps must be positive".into());
         }
-        if !(0.0..=1.0).contains(&self.qth_fraction) || self.qth_fraction == 0.0 {
+        if !(self.qth_fraction > 0.0 && self.qth_fraction <= 1.0) {
             return Err(format!("qth_fraction must be in (0,1]: {}", self.qth_fraction));
         }
         if self.horizon_ps == 0 {
@@ -114,14 +114,13 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = RlbConfig::default();
-        c.qth_fraction = 0.0;
-        assert!(c.validate().is_err());
-        c = RlbConfig::default();
-        c.dt_ps = 0;
-        assert!(c.validate().is_err());
-        c = RlbConfig::default();
-        c.warn_lifetime_ps = c.dt_ps / 2;
-        assert!(c.validate().is_err());
+        let bad = |f: fn(&mut RlbConfig)| {
+            let mut c = RlbConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.qth_fraction = 0.0));
+        assert!(bad(|c| c.dt_ps = 0));
+        assert!(bad(|c| c.warn_lifetime_ps = c.dt_ps / 2));
     }
 }

@@ -16,6 +16,10 @@
 //! All logic here is pure (no clocks, no queues); `rlb-net` wires it into
 //! the simulated switches.
 
+// Library code must justify every panic site: bare unwrap() is denied here
+// (tests are exempt). Enforced alongside `cargo xtask lint`'s lib-unwrap rule.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod config;
 pub mod predictor;
 pub mod reroute;
@@ -67,8 +71,10 @@ mod proptests {
             enable_recirc in any::<bool>(),
         ) {
             let initial = initial_raw % paths.len();
-            let mut cfg = RlbConfig::default();
-            cfg.enable_recirculation = enable_recirc;
+            let cfg = RlbConfig {
+                enable_recirculation: enable_recirc,
+                ..RlbConfig::default()
+            };
             let (d, _) = algorithm1(initial, &mk_ctx(&paths), &cfg, recircs);
             if let Decision::Forward(p) = d {
                 prop_assert!(p < paths.len());

@@ -111,7 +111,11 @@ pub fn algorithm1(
         } else {
             let better = match best_below {
                 None => true,
-                Some((_, r, qb)) => q.rtt_ns > r || (q.rtt_ns == r && q.queue_bytes < qb),
+                Some((_, r, qb)) => match q.rtt_ns.partial_cmp(&r) {
+                    Some(std::cmp::Ordering::Greater) => true,
+                    Some(std::cmp::Ordering::Equal) => q.queue_bytes < qb,
+                    _ => false,
+                },
             };
             if better {
                 best_below = Some((i, q.rtt_ns, q.queue_bytes));
@@ -168,7 +172,7 @@ pub fn algorithm1(
 pub struct Rlb<L: ?Sized> {
     pub cfg: RlbConfig,
     pub stats: RlbStats,
-    overrides: std::collections::HashMap<u64, (PathIdx, u64)>,
+    overrides: std::collections::BTreeMap<u64, (PathIdx, u64)>,
     inner: Box<L>,
 }
 
@@ -177,7 +181,7 @@ impl Rlb<dyn LoadBalancer> {
         Rlb {
             cfg,
             stats: RlbStats::default(),
-            overrides: std::collections::HashMap::new(),
+            overrides: std::collections::BTreeMap::new(),
             inner,
         }
     }

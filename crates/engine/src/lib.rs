@@ -11,6 +11,10 @@
 //! The engine is deliberately ignorant of packets and switches; the network
 //! semantics live in `rlb-net`, which owns the dispatch loop.
 
+// Library code must justify every panic site: bare unwrap() is denied here
+// (tests are exempt). Enforced alongside `cargo xtask lint`'s lib-unwrap rule.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod queue;
 pub mod rng;
 pub mod time;

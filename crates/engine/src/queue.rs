@@ -98,12 +98,33 @@ impl<E> EventQueue<E> {
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
+    ///
+    /// Event-clock monotonicity is structurally guaranteed by the heap
+    /// order plus the `schedule` past-check; under `--features audit` (or
+    /// any debug build) it is re-verified on every pop so a future heap
+    /// or comparator bug cannot silently run time backwards.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
+        #[cfg(any(debug_assertions, feature = "audit"))]
+        assert!(
+            entry.time >= self.now,
+            "audit violation [event-clock monotonicity]: popped t={} ps \
+             behind clock now={} ps (seq={})",
+            entry.time.as_ps(),
+            self.now.as_ps(),
+            entry.seq
+        );
         self.now = entry.time;
         Some((entry.time, entry.event))
+    }
+
+    /// Visit every pending event in unspecified order (diagnostic walker
+    /// used by the fabric conservation audit; see `rlb-net`'s `audit`
+    /// feature).
+    #[inline]
+    pub fn iter_events(&self) -> impl Iterator<Item = &E> {
+        self.heap.iter().map(|e| &e.event)
     }
 
     /// Timestamp of the next event without popping it.

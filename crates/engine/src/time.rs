@@ -184,6 +184,9 @@ pub fn bytes_in(dur: SimDuration, bits_per_sec: u64) -> u64 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are exactly representable in binary floating
+// point; the workspace-level float_cmp deny targets simulator arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -17,7 +17,7 @@
 use crate::api::{Ctx, LoadBalancer, PathIdx};
 use rand::Rng;
 use rlb_engine::SimRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Flowlet timeout — CONGA uses ~100–500 µs; match LetFlow's default.
 pub const DEFAULT_FLOWLET_TIMEOUT_PS: u64 = crate::letflow::DEFAULT_FLOWLET_TIMEOUT_PS;
@@ -34,7 +34,7 @@ struct FlowletEntry {
 
 pub struct Conga {
     timeout_ps: u64,
-    table: HashMap<u64, FlowletEntry>,
+    table: BTreeMap<u64, FlowletEntry>,
     rng: SimRng,
     pub flowlet_switches: u64,
 }
@@ -48,7 +48,7 @@ impl Conga {
         assert!(timeout_ps > 0);
         Conga {
             timeout_ps,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             rng,
             flowlet_switches: 0,
         }

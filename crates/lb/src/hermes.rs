@@ -16,7 +16,7 @@ use crate::api::{Ctx, LoadBalancer, PathIdx, PathInfo};
 use rand::Rng;
 use rlb_engine::SimRng;
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Serialize)]
 pub struct HermesConfig {
@@ -67,7 +67,7 @@ struct FlowState {
 
 pub struct Hermes {
     cfg: HermesConfig,
-    flows: HashMap<u64, FlowState>,
+    flows: BTreeMap<u64, FlowState>,
     rng: SimRng,
     pub reroutes: u64,
 }
@@ -80,7 +80,7 @@ impl Hermes {
     pub fn with_config(rng: SimRng, cfg: HermesConfig) -> Hermes {
         Hermes {
             cfg,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             rng,
             reroutes: 0,
         }

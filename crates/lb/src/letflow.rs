@@ -12,7 +12,7 @@
 use crate::api::{Ctx, LoadBalancer, PathIdx};
 use rand::Rng;
 use rlb_engine::SimRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default flowlet inactivity timeout. The LetFlow paper explores tens to
 /// hundreds of microseconds; 50 µs suits a 2 µs-link 40 Gbps fabric whose
@@ -28,7 +28,7 @@ struct FlowletEntry {
 
 pub struct LetFlow {
     timeout_ps: u64,
-    table: HashMap<u64, FlowletEntry>,
+    table: BTreeMap<u64, FlowletEntry>,
     rng: SimRng,
     /// Flowlet switches performed (diagnostic).
     pub flowlet_switches: u64,
@@ -43,7 +43,7 @@ impl LetFlow {
         assert!(timeout_ps > 0);
         LetFlow {
             timeout_ps,
-            table: HashMap::new(),
+            table: BTreeMap::new(),
             rng,
             flowlet_switches: 0,
         }

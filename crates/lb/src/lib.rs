@@ -15,6 +15,10 @@
 //! None of them can see hop-by-hop PFC state — that blindness is what
 //! `rlb-core` repairs.
 
+// Library code must justify every panic site: bare unwrap() is denied here
+// (tests are exempt). Enforced alongside `cargo xtask lint`'s lib-unwrap rule.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod api;
 pub mod conga;
 pub mod drill;

@@ -14,7 +14,7 @@
 
 use crate::api::{Ctx, LoadBalancer, PathIdx};
 use crate::ecmp::hash64;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default flowcell size from the Presto paper.
 pub const FLOWCELL_BYTES: u64 = 64 * 1024;
@@ -24,7 +24,7 @@ pub struct Presto {
     cell_bytes: u64,
     mtu_bytes: u64,
     /// Flow → round-robin base path offset, assigned on first packet.
-    base: HashMap<u64, u64>,
+    base: BTreeMap<u64, u64>,
     /// Global round-robin cursor seeding new flows' bases, per Presto's
     /// cycle-through-spines behaviour.
     cursor: u64,
@@ -40,7 +40,7 @@ impl Presto {
         Presto {
             cell_bytes,
             mtu_bytes,
-            base: HashMap::new(),
+            base: BTreeMap::new(),
             cursor: 0,
         }
     }
@@ -60,7 +60,7 @@ impl LoadBalancer for Presto {
     fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx {
         let n = ctx.paths.len() as u64;
         let base = *self.base.entry(ctx.flow_id).or_insert_with(|| {
-            let b = self.cursor ^ hash64(ctx.flow_id) % n;
+            let b = self.cursor ^ (hash64(ctx.flow_id) % n);
             self.cursor = (self.cursor + 1) % n;
             b % n
         });

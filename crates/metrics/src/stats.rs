@@ -127,6 +127,9 @@ pub fn mean(samples: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are exactly representable in binary floating
+// point; the workspace-level float_cmp deny targets simulator arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

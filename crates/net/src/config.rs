@@ -203,6 +203,10 @@ pub struct SimConfig {
     pub monitor: Option<crate::monitor::MonitorConfig>,
     /// Flow ids to trace packet-by-packet (see [`crate::trace`]).
     pub trace_flows: Vec<u32>,
+    /// Run the fabric invariant sweep every N processed events (0 = only at
+    /// drain). Only consulted when the crate is built with the `audit`
+    /// feature; the field always exists so configs stay feature-independent.
+    pub audit_every_events: u64,
 }
 
 impl Default for SimConfig {
@@ -217,6 +221,7 @@ impl Default for SimConfig {
             hard_stop: SimTime::from_ms(200),
             monitor: None,
             trace_flows: Vec::new(),
+            audit_every_events: 4096,
         }
     }
 }
@@ -267,8 +272,10 @@ mod tests {
     #[test]
     fn defaults_validate() {
         SimConfig::default().validate().unwrap();
-        let mut c = SimConfig::default();
-        c.rlb = Some(RlbConfig::default());
+        let c = SimConfig {
+            rlb: Some(RlbConfig::default()),
+            ..SimConfig::default()
+        };
         c.validate().unwrap();
     }
 
@@ -293,8 +300,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut t = TopoConfig::default();
-        t.n_leaves = 1;
+        let t = TopoConfig {
+            n_leaves: 1,
+            ..TopoConfig::default()
+        };
         assert!(t.validate().is_err());
         let mut t = TopoConfig::default();
         t.degraded_links.push((99, 0));

@@ -24,6 +24,12 @@
 //! assert_eq!(result.counters.buffer_drops, 0); // lossless
 //! ```
 
+// Library code must justify every panic site: bare unwrap() is denied here
+// (tests are exempt). Enforced alongside `cargo xtask lint`'s lib-unwrap rule.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod config;
 pub mod host;
 pub mod monitor;
@@ -56,6 +62,9 @@ pub fn hash_u64(mut z: u64) -> u64 {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are exactly representable in binary floating
+// point; the workspace-level float_cmp deny targets simulator arithmetic.
+#[allow(clippy::float_cmp)]
 mod smoke {
     use super::*;
     use rlb_engine::SimTime;

@@ -95,6 +95,9 @@ impl FabricTimeSeries {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are exactly representable in binary floating
+// point; the workspace-level float_cmp deny targets simulator arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

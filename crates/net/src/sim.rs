@@ -6,6 +6,8 @@
 //! arrive, CNM warnings serialize onto reverse links hop-by-hop, packets
 //! occupy shared buffer from ingress admission to egress completion.
 
+#[cfg(feature = "audit")]
+use crate::audit::FabricAuditor;
 use crate::config::SimConfig;
 use crate::host::{FlowState, Host, Reliability};
 use crate::monitor::{FabricSample, FabricTimeSeries};
@@ -64,6 +66,10 @@ pub struct RunResult {
     pub timeseries: FabricTimeSeries,
     /// Per-flow packet traces (empty unless `trace_flows` was set).
     pub traces: FlowTraces,
+    /// PFC pause frames sent, keyed by ((is_spine, switch_idx), port).
+    /// Deterministic iteration order (BTreeMap) so two runs of the same
+    /// scenario can be compared entry-by-entry.
+    pub pfc_pauses_by_port: std::collections::BTreeMap<((bool, u32), u16), u64>,
 }
 
 impl RunResult {
@@ -121,6 +127,14 @@ pub struct Simulation {
     cnm_ttl: u8,
     timeseries: FabricTimeSeries,
     traces: FlowTraces,
+    pfc_pauses_by_port: std::collections::BTreeMap<((bool, u32), u16), u64>,
+    #[cfg(feature = "audit")]
+    auditor: FabricAuditor,
+    /// Data/recirculating packets inside the single event popped past the
+    /// hard-stop horizon and never dispatched — still "in flight" as far as
+    /// the conservation ledger is concerned.
+    #[cfg(feature = "audit")]
+    audit_horizon_in_flight: (u64, u64),
 }
 
 /// Encode a switch identity into the CNM origin field.
@@ -270,6 +284,11 @@ impl Simulation {
             cnm_ttl: 4,
             timeseries: FabricTimeSeries::default(),
             traces: FlowTraces::new(&cfg_trace_flows),
+            pfc_pauses_by_port: std::collections::BTreeMap::new(),
+            #[cfg(feature = "audit")]
+            auditor: FabricAuditor::default(),
+            #[cfg(feature = "audit")]
+            audit_horizon_in_flight: (0, 0),
             cfg,
         }
     }
@@ -317,14 +336,28 @@ impl Simulation {
         let mut events: u64 = 0;
         while let Some((t, ev)) = self.q.pop() {
             if t > hard_stop {
+                #[cfg(feature = "audit")]
+                {
+                    // This event is popped but never dispatched; its packets
+                    // must stay on the conservation ledger.
+                    let (f, r) = Self::audit_event_packets(&ev);
+                    self.audit_horizon_in_flight.0 += f;
+                    self.audit_horizon_in_flight.1 += r;
+                }
                 break;
             }
             events += 1;
             self.dispatch(ev);
+            #[cfg(feature = "audit")]
+            if self.cfg.audit_every_events > 0 && events % self.cfg.audit_every_events == 0 {
+                self.audit_sweep(false);
+            }
             if self.completed == self.flows.len() {
                 break;
             }
         }
+        #[cfg(feature = "audit")]
+        self.audit_sweep(true);
         let end_time = self.now();
         let groups: Vec<u64> = self.flows.iter().map(|f| f.spec.group).collect();
         let records = self.build_records();
@@ -352,6 +385,7 @@ impl Simulation {
             groups,
             timeseries: self.timeseries,
             traces: self.traces,
+            pfc_pauses_by_port: self.pfc_pauses_by_port,
         }
     }
 
@@ -374,6 +408,45 @@ impl Simulation {
                 recirculations: f.recirculations,
             })
             .collect()
+    }
+
+    /// Data packets carried by a pending event: `(in_flight, recirculating)`.
+    #[cfg(feature = "audit")]
+    fn audit_event_packets(ev: &Event) -> (u64, u64) {
+        match ev {
+            Event::LinkArrive { pkt, .. } if matches!(pkt.kind, PacketKind::Data) => (1, 0),
+            Event::Recirculate { .. } => (0, 1),
+            _ => (0, 0),
+        }
+    }
+
+    /// Conservation + occupancy (+ PFC pairing at drain) sweep over the
+    /// whole fabric. Runs between events, so every structure is quiescent.
+    #[cfg(feature = "audit")]
+    fn audit_sweep(&mut self, drain: bool) {
+        let (mut in_flight, mut recirc) = self.audit_horizon_in_flight;
+        for ev in self.q.iter_events() {
+            let (f, r) = Self::audit_event_packets(ev);
+            in_flight += f;
+            recirc += r;
+        }
+        let leaves = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, sw)| ((false, i as u32), sw));
+        let spines = self
+            .spines
+            .iter()
+            .enumerate()
+            .map(|(i, sw)| ((true, i as u32), sw));
+        self.auditor.check(
+            self.q.now().as_ps(),
+            leaves.chain(spines),
+            in_flight,
+            recirc,
+            drain,
+        );
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -506,7 +579,7 @@ impl Simulation {
             let d = d.max(now.as_ps());
             let sooner = self.hosts[h as usize]
                 .wake_at
-                .map_or(true, |w| d < w || w < now.as_ps());
+                .is_none_or(|w| d < w || w < now.as_ps());
             if sooner {
                 self.hosts[h as usize].wake_at = Some(d);
                 self.q.schedule(SimTime(d), Event::HostWake(h));
@@ -516,6 +589,10 @@ impl Simulation {
 
     fn host_transmit(&mut self, h: u32, pkt: Packet) {
         let now = self.now();
+        #[cfg(feature = "audit")]
+        if matches!(pkt.kind, PacketKind::Data) {
+            self.auditor.on_injected();
+        }
         self.hosts[h as usize].busy = true;
         let rate = self.cfg.topo.host_link_rate_bps;
         let ser = tx_delay(pkt.size_bytes as u64, rate);
@@ -544,6 +621,8 @@ impl Simulation {
         match pkt.kind {
             PacketKind::Data => {
                 debug_assert_eq!(pkt.dst_host, h);
+                #[cfg(feature = "audit")]
+                self.auditor.on_arrived();
                 let ctrl_bytes = self.cfg.transport.ctrl_bytes;
                 let cnp_interval = self.cfg.transport.dcqcn.cnp_interval_ps;
                 let fs = &mut self.flows[pkt.flow as usize];
@@ -696,10 +775,12 @@ impl Simulation {
             let sw = self.switch_mut(node);
             match sw.admit_data(in_port, pkt.size_bytes) {
                 Ok(a) => (true, a),
-                Err(()) => (false, PfcAction::None),
+                Err(crate::switch::BufferOverflow) => (false, PfcAction::None),
             }
         };
         if !admitted {
+            #[cfg(feature = "audit")]
+            self.auditor.on_dropped();
             return; // tail-dropped; go-back-N will recover end-to-end
         }
         self.apply_pfc_action(node, action);
@@ -815,6 +896,8 @@ impl Simulation {
             if sw.dt_exceeded(out) {
                 sw.drops += 1;
                 let action = sw.release_data(pkt.ingress_port, pkt.size_bytes);
+                #[cfg(feature = "audit")]
+                self.auditor.on_dropped();
                 self.apply_pfc_action(node, action);
                 return;
             }
@@ -906,6 +989,12 @@ impl Simulation {
             PfcAction::None => return,
             PfcAction::SendPause(p) => {
                 self.counters.pause_frames += 1;
+                let id = match node {
+                    Node::Leaf(l) => (false, l),
+                    Node::Spine(s) => (true, s),
+                    Node::Host(_) => unreachable!("hosts do not emit PFC"),
+                };
+                *self.pfc_pauses_by_port.entry((id, p)).or_insert(0) += 1;
                 (p, true)
             }
             PfcAction::SendResume(p) => {
@@ -913,6 +1002,19 @@ impl Simulation {
                 (p, false)
             }
         };
+        #[cfg(feature = "audit")]
+        {
+            let id = match node {
+                Node::Leaf(l) => (false, l),
+                Node::Spine(s) => (true, s),
+                Node::Host(_) => unreachable!("hosts do not emit PFC"),
+            };
+            if pause {
+                self.auditor.on_pause_sent(id, port);
+            } else {
+                self.auditor.on_resume_sent(id, port);
+            }
+        }
         let (peer, peer_port) = self.topo.peer(node, port);
         self.q.schedule(
             now + prop,
@@ -968,10 +1070,10 @@ impl Simulation {
     /// congestion (half the warning threshold), per §3.2.1's "only performs
     /// prediction when there is congestion".
     fn maybe_activate_sampler(&mut self, node: Node, in_port: u16) {
-        if self.cfg.rlb.is_none() {
+        let Some(rcfg) = self.cfg.rlb.as_ref() else {
             return;
-        }
-        let dt = self.cfg.rlb.as_ref().unwrap().dt_ps;
+        };
+        let dt = rcfg.dt_ps;
         let now = self.now();
         let activate = {
             let sw = self.switch_mut(node);
@@ -1181,12 +1283,6 @@ impl Simulation {
         self.q.schedule(self.now() + dt, Event::RtoCheck(f));
     }
 
-    // Test/diagnostic accessors ------------------------------------------------
-
-    #[cfg(test)]
-    pub(crate) fn counters(&self) -> &FabricCounters {
-        &self.counters
-    }
 }
 
 #[cfg(test)]
@@ -1239,6 +1335,7 @@ mod tests {
             groups: vec![1, 1, 2, u64::MAX],
             timeseries: Default::default(),
             traces: Default::default(),
+            pfc_pauses_by_port: Default::default(),
         };
         let groups = res.group_completion_ms();
         // Group 1 completes at 5 ms from start 0 → 5.0 ms; group 2 has an

@@ -101,6 +101,19 @@ impl LeafState {
     }
 }
 
+/// Shared-buffer admission failure: the pool is full, the packet is
+/// tail-dropped (the drop is already counted on the switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferOverflow;
+
+impl std::fmt::Display for BufferOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shared buffer overflow: packet tail-dropped")
+    }
+}
+
+impl std::error::Error for BufferOverflow {}
+
 /// Instructions a switch-local operation hands back to the simulator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PfcAction {
@@ -169,12 +182,12 @@ impl Switch {
     }
 
     /// Admit an arriving data packet into the shared buffer, charging its
-    /// ingress port. Returns `Err(())` on buffer overflow (tail drop) or
+    /// ingress port. Returns [`BufferOverflow`] on a tail drop, otherwise
     /// the PFC action the MMU demands.
-    pub fn admit_data(&mut self, in_port: u16, bytes: u32) -> Result<PfcAction, ()> {
+    pub fn admit_data(&mut self, in_port: u16, bytes: u32) -> Result<PfcAction, BufferOverflow> {
         if self.shared_used + bytes as u64 > self.cfg.buffer_bytes {
             self.drops += 1;
-            return Err(());
+            return Err(BufferOverflow);
         }
         self.shared_used += bytes as u64;
         let c = &mut self.ingress_bytes[in_port as usize];
@@ -267,6 +280,9 @@ impl Switch {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are exactly representable in binary floating
+// point; the workspace-level float_cmp deny targets simulator arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::packet::PacketKind;

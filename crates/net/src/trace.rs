@@ -6,7 +6,7 @@
 //! fabric trace would dwarf the simulation itself.
 
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One traced event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -41,7 +41,7 @@ pub struct TraceEntry {
 /// Collected traces, keyed by flow id.
 #[derive(Debug, Default)]
 pub struct FlowTraces {
-    traces: HashMap<u32, Vec<TraceEntry>>,
+    traces: BTreeMap<u32, Vec<TraceEntry>>,
 }
 
 impl FlowTraces {

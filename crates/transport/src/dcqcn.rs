@@ -206,6 +206,9 @@ impl CnpGenerator {
 }
 
 #[cfg(test)]
+// Tests assert exact values that are exactly representable in binary floating
+// point; the workspace-level float_cmp deny targets simulator arithmetic.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -260,8 +263,10 @@ mod tests {
 
     #[test]
     fn additive_then_hyper_increase_push_target_up() {
-        let mut cfg = DcqcnConfig::default();
-        cfg.line_rate_bps = 40e9;
+        let cfg = DcqcnConfig {
+            line_rate_bps: 40e9,
+            ..DcqcnConfig::default()
+        };
         let mut r = DcqcnRate::new(cfg);
         r.on_cnp();
         // Exhaust fast recovery via timer, then additive increases.

@@ -14,6 +14,10 @@
 //! All types are pure state machines over explicit timestamps; the
 //! simulator (`rlb-net`) drives them and owns all scheduling.
 
+// Library code must justify every panic site: bare unwrap() is denied here
+// (tests are exempt). Enforced alongside `cargo xtask lint`'s lib-unwrap rule.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod dcqcn;
 pub mod gbn;
 pub mod irn;
@@ -88,7 +92,7 @@ mod proptests {
                     prop_assert!(psn < total);
                 }
                 tx.on_nak(nak % total);
-                prop_assert!(tx.peek_next().map_or(true, |p| p < total));
+                prop_assert!(tx.peek_next().is_none_or(|p| p < total));
                 prop_assert!(tx.in_flight() <= total);
             }
         }

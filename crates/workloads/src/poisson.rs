@@ -77,7 +77,7 @@ impl PoissonTraffic {
             // Exponential inter-arrival via inverse transform.
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
             let gap = (-u.ln()) * self.mean_interarrival.as_ps() as f64;
-            t = t + SimDuration(gap.round().max(1.0) as u64);
+            t += SimDuration(gap.round().max(1.0) as u64);
             if t >= horizon {
                 break;
             }

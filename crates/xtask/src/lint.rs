@@ -1,0 +1,597 @@
+//! Determinism / robustness lint for the simulator workspace.
+//!
+//! The simulator's headline guarantee is bit-exact replay for a fixed seed
+//! (ROADMAP "determinism" pillar). That property is easy to lose through a
+//! single stray `HashMap` iteration or wall-clock read, and the failure is
+//! silent — results stay plausible, they just stop being reproducible. This
+//! scanner enforces the policy mechanically:
+//!
+//! | rule            | severity | flags                                         |
+//! |-----------------|----------|-----------------------------------------------|
+//! | `hash-container`| warning  | `HashMap` / `HashSet` in simulator code (their |
+//! |                 |          | iteration order is randomized per process)     |
+//! | `wall-clock`    | error    | `Instant::now` / `SystemTime::now` outside     |
+//! |                 |          | `crates/bench` (real time leaking into a run)  |
+//! | `unseeded-rng`  | error    | `thread_rng` / `from_entropy` / `rand::random` |
+//! |                 |          | (entropy not derived from the run seed)        |
+//! | `lib-unwrap`    | warning  | bare `.unwrap()` in the library code of        |
+//! |                 |          | `crates/{engine,net,core,transport,lb}`        |
+//! |                 |          | (`.expect("invariant …")` is the sanctioned    |
+//! |                 |          | form — it documents *why* it cannot fail)      |
+//!
+//! Scope rules: `vendor/` and `target/` are never scanned; `crates/bench`
+//! is exempt from everything (it times and explores, it is not replayed);
+//! `#[cfg(test)]` modules and `tests/` directories are exempt from the two
+//! warning-severity rules (a test-local `HashSet` or `unwrap` cannot hurt
+//! replay) but still subject to the error-severity ones (tests must be as
+//! deterministic as the code they pin down).
+//!
+//! Escape hatch: a `// lint:allow(<rule>)` comment on the same line, or on
+//! a comment line directly above, suppresses that rule — use it where the
+//! hazard is deliberate and the reason is worth a comment anyway.
+//!
+//! Implementation note: this is a line-oriented token scanner, not a parser
+//! (no `syn` in the offline vendor set). It masks string literals and
+//! comments before matching and tracks `#[cfg(test)]` brace depth, which is
+//! exact enough for this codebase's idiom; anything it cannot express can
+//! use the escape hatch.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    HashContainer,
+    WallClock,
+    UnseededRng,
+    LibUnwrap,
+}
+
+impl Rule {
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashContainer => "hash-container",
+            Rule::WallClock => "wall-clock",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::LibUnwrap => "lib-unwrap",
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::HashContainer | Rule::LibUnwrap => Severity::Warning,
+            Rule::WallClock | Rule::UnseededRng => Severity::Error,
+        }
+    }
+
+    fn patterns(self) -> &'static [&'static str] {
+        match self {
+            Rule::HashContainer => &["HashMap", "HashSet"],
+            Rule::WallClock => &["Instant::now", "SystemTime::now"],
+            Rule::UnseededRng => &["thread_rng", "from_entropy", "rand::random"],
+            Rule::LibUnwrap => &[".unwrap()"],
+        }
+    }
+
+    fn suggestion(self) -> &'static str {
+        match self {
+            Rule::HashContainer => {
+                "iteration order is randomized per process; use BTreeMap/BTreeSet \
+                 (or a Vec keyed by index) so replays are bit-exact"
+            }
+            Rule::WallClock => {
+                "wall-clock time must not influence a simulation; use the event \
+                 clock (`EventQueue::now`), or move the timing into crates/bench"
+            }
+            Rule::UnseededRng => {
+                "derive randomness from the run seed via `rlb_engine::substream` \
+                 so every decision is replayable"
+            }
+            Rule::LibUnwrap => {
+                "return a Result, or use `.expect(\"<invariant that makes this \
+                 infallible>\")` so the panic message explains itself"
+            }
+        }
+    }
+}
+
+const ALL_RULES: [Rule; 4] = [
+    Rule::HashContainer,
+    Rule::WallClock,
+    Rule::UnseededRng,
+    Rule::LibUnwrap,
+];
+
+/// What kind of file is being scanned — decides which rules apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Library code of the deterministic core crates: all rules.
+    CoreLib,
+    /// Other simulator code (binaries, metrics, workloads, this tool):
+    /// everything except `lib-unwrap`.
+    Sim,
+    /// Integration-test code: error-severity rules only.
+    Test,
+    /// `crates/bench`: exempt.
+    Bench,
+}
+
+impl FileClass {
+    fn applies(self, rule: Rule, in_test_module: bool) -> bool {
+        match self {
+            FileClass::Bench => false,
+            FileClass::Test => rule.severity() == Severity::Error,
+            FileClass::CoreLib | FileClass::Sim => {
+                if in_test_module && rule.severity() == Severity::Warning {
+                    return false;
+                }
+                match rule {
+                    Rule::LibUnwrap => self == FileClass::CoreLib && !in_test_module,
+                    _ => true,
+                }
+            }
+        }
+    }
+}
+
+/// Classify a workspace-relative path.
+pub fn classify(rel: &Path) -> FileClass {
+    let mut comps = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    let first = comps.next().unwrap_or_default();
+    if first == "tests" {
+        return FileClass::Test;
+    }
+    if first == "crates" {
+        let krate = comps.next().unwrap_or_default();
+        // bench measures wall-clock by design; xtask is developer tooling and
+        // its own tests embed rule-triggering snippets in string literals.
+        if krate == "bench" || krate == "xtask" {
+            return FileClass::Bench;
+        }
+        if rel.components().any(|c| c.as_os_str() == "tests") {
+            return FileClass::Test;
+        }
+        if matches!(&*krate, "engine" | "net" | "core" | "transport" | "lb") {
+            // The crate's binaries (src/bin) are tools, not library code.
+            if rel.components().any(|c| c.as_os_str() == "bin") {
+                return FileClass::Sim;
+            }
+            return FileClass::CoreLib;
+        }
+    }
+    FileClass::Sim
+}
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {}:{}: [{}] {}",
+            self.rule.severity(),
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.excerpt.trim()
+        )?;
+        write!(f, "    help: {}", self.rule.suggestion())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Line preprocessing
+// ---------------------------------------------------------------------------
+
+/// Replace string-literal contents and `char` literals with spaces so
+/// patterns inside them don't match and quotes can't unbalance the scan.
+/// Handles escapes; raw strings are treated as plain (good enough here).
+fn mask_strings(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                while let Some(c2) = chars.next() {
+                    match c2 {
+                        '\\' => {
+                            out.push(' ');
+                            if chars.next().is_some() {
+                                out.push(' ');
+                            }
+                        }
+                        '"' => {
+                            out.push('"');
+                            break;
+                        }
+                        _ => out.push(' '),
+                    }
+                }
+            }
+            '\'' => {
+                // A char literal ('x', '\n') — mask it. A lifetime ('a)
+                // has no closing quote within a couple of chars; leave it.
+                let rest: String = chars.clone().take(3).collect();
+                let close = if let Some(escaped) = rest.strip_prefix('\\') {
+                    escaped.find('\'').map(|i| i + 1)
+                } else {
+                    rest.find('\'')
+                };
+                match close {
+                    Some(n) if n <= 2 => {
+                        out.push('\'');
+                        for _ in 0..=n {
+                            let _ = chars.next();
+                            out.push(' ');
+                        }
+                    }
+                    _ => out.push('\''),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Split a string-masked line into (code, comment) at the first `//`.
+fn split_comment(masked: &str) -> (&str, &str) {
+    match masked.find("//") {
+        Some(i) => (&masked[..i], &masked[i..]),
+        None => (masked, ""),
+    }
+}
+
+/// Rules named by `lint:allow(<rule>)` markers in a comment.
+fn allowed_rules(comment: &str) -> Vec<Rule> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(i) = rest.find("lint:allow(") {
+        rest = &rest[i + "lint:allow(".len()..];
+        if let Some(j) = rest.find(')') {
+            let name = rest[..j].trim();
+            if let Some(rule) = ALL_RULES.iter().find(|r| r.name() == name) {
+                out.push(*rule);
+            }
+            rest = &rest[j..];
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The scanner
+// ---------------------------------------------------------------------------
+
+/// Scan one file's source. `file` is the label used in diagnostics.
+pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if class == FileClass::Bench {
+        return findings;
+    }
+    // #[cfg(test)] region tracking.
+    let mut test_pending = false; // saw the attribute, waiting for the item's `{`
+    let mut test_depth: i64 = 0; // brace depth inside the gated item (0 = outside)
+    let mut in_test = false;
+    // lint:allow on a standalone comment line applies to the next line.
+    let mut allow_next: Vec<Rule> = Vec::new();
+    // /* */ block comments (rare in this codebase, but cheap to track).
+    let mut in_block_comment = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let masked = mask_strings(raw);
+        let (code_part, comment) = split_comment(&masked);
+        let mut code = code_part.to_string();
+        if in_block_comment {
+            match code.find("*/") {
+                Some(i) => {
+                    code = code[i + 2..].to_string();
+                    in_block_comment = false;
+                }
+                None => continue,
+            }
+        }
+        while let Some(i) = code.find("/*") {
+            match code[i..].find("*/") {
+                Some(j) => code = format!("{}{}", &code[..i], &code[i + j + 2..]),
+                None => {
+                    in_block_comment = true;
+                    code.truncate(i);
+                    break;
+                }
+            }
+        }
+        let code = code.as_str();
+
+        let allows: Vec<Rule> = allowed_rules(comment)
+            .into_iter()
+            .chain(allow_next.drain(..))
+            .collect();
+        let trimmed_code = code.trim();
+        if trimmed_code.is_empty() && !comment.is_empty() {
+            // Pure comment line: its allow markers carry to the next line.
+            allow_next = allows;
+            continue;
+        }
+
+        // Track #[cfg(test)]-gated regions.
+        if !in_test && code.contains("#[cfg(test)]") {
+            test_pending = true;
+        }
+        // The gate applies to this line even when the update below closes it
+        // (single-line items, braceless `use`/`const`).
+        let line_gated = in_test || test_pending;
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if test_pending {
+            if opens > 0 {
+                in_test = true;
+                test_pending = false;
+                test_depth = opens - closes;
+                if test_depth <= 0 {
+                    in_test = false; // single-line item
+                }
+            } else if trimmed_code.ends_with(';') {
+                test_pending = false; // gated a braceless item (use/const)
+            }
+        } else if in_test {
+            test_depth += opens - closes;
+            if test_depth <= 0 {
+                in_test = false;
+            }
+        }
+
+        for rule in ALL_RULES {
+            if !class.applies(rule, line_gated) {
+                continue;
+            }
+            if allows.contains(&rule) {
+                continue;
+            }
+            if rule.patterns().iter().any(|p| code.contains(p)) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule,
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk + entry point
+// ---------------------------------------------------------------------------
+
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if matches!(&*name, "vendor" | "target" | ".git" | ".github") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort(); // deterministic diagnostic order
+    out
+}
+
+pub fn run(root: &Path, deny: bool) -> ExitCode {
+    let files = collect_rs_files(root);
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let class = classify(rel);
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("warning: could not read {}", path.display());
+            continue;
+        };
+        findings.extend(lint_source(&rel.display().to_string(), &source, class));
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    let errors = findings
+        .iter()
+        .filter(|f| f.rule.severity() == Severity::Error)
+        .count();
+    let warnings = findings.len() - errors;
+    println!(
+        "lint: scanned {} files: {} error(s), {} warning(s)",
+        files.len(),
+        errors,
+        warnings
+    );
+    if errors > 0 || (deny && !findings.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests: every rule class against a known-bad snippet, plus the machinery.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_found(src: &str, class: FileClass) -> Vec<Rule> {
+        lint_source("t.rs", src, class).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_hash_container() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n";
+        let found = rules_found(src, FileClass::Sim);
+        assert_eq!(found, vec![Rule::HashContainer, Rule::HashContainer]);
+    }
+
+    #[test]
+    fn flags_wall_clock() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules_found(src, FileClass::Sim), vec![Rule::WallClock]);
+        let src = "fn f() { let t = SystemTime::now(); }\n";
+        assert_eq!(rules_found(src, FileClass::CoreLib), vec![Rule::WallClock]);
+    }
+
+    #[test]
+    fn flags_unseeded_rng() {
+        let src = "fn f() { let mut rng = rand::thread_rng(); }\n";
+        assert_eq!(rules_found(src, FileClass::Sim), vec![Rule::UnseededRng]);
+        let src = "let r = SmallRng::from_entropy();\n";
+        assert_eq!(rules_found(src, FileClass::Test), vec![Rule::UnseededRng]);
+    }
+
+    #[test]
+    fn flags_lib_unwrap_only_in_core_libs() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_found(src, FileClass::CoreLib), vec![Rule::LibUnwrap]);
+        assert!(rules_found(src, FileClass::Sim).is_empty());
+        assert!(rules_found(src, FileClass::Test).is_empty());
+        // .expect with a message is the sanctioned form.
+        let ok = "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant: set in new()\") }\n";
+        assert!(rules_found(ok, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
+    fn bench_is_exempt() {
+        let src = "fn f() { let t = Instant::now(); let mut r = rand::thread_rng(); }\n";
+        assert!(rules_found(src, FileClass::Bench).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_exempts_warnings_not_errors() {
+        let src = "\
+struct S;
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    fn t() {
+        let s: HashSet<u32> = HashSet::new();
+        let x = Some(1).unwrap();
+        let w = std::time::Instant::now();
+    }
+}
+fn after() { let m: std::collections::HashMap<u8, u8> = Default::default(); }
+";
+        let found = rules_found(src, FileClass::CoreLib);
+        // Inside the test module only the wall-clock error survives; the
+        // HashMap after the module closes is flagged again.
+        assert_eq!(found, vec![Rule::WallClock, Rule::HashContainer]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_swallow_rest_of_file() {
+        let src = "\
+#[cfg(test)]
+use std::collections::HashSet;
+fn live() { let m = std::collections::HashMap::<u8, u8>::new(); }
+";
+        let found = rules_found(src, FileClass::Sim);
+        assert_eq!(found, vec![Rule::HashContainer]);
+    }
+
+    #[test]
+    fn allow_marker_same_line_and_previous_line() {
+        let same = "let t = Instant::now(); // lint:allow(wall-clock) CLI timing\n";
+        assert!(rules_found(same, FileClass::Sim).is_empty());
+        let prev = "// lint:allow(wall-clock)\nlet t = Instant::now();\n";
+        assert!(rules_found(prev, FileClass::Sim).is_empty());
+        // The marker only suppresses the named rule.
+        let other = "let t = Instant::now(); // lint:allow(hash-container)\n";
+        assert_eq!(rules_found(other, FileClass::Sim), vec![Rule::WallClock]);
+        // And only for the very next line.
+        let stale = "// lint:allow(wall-clock)\nlet a = 1;\nlet t = Instant::now();\n";
+        assert_eq!(rules_found(stale, FileClass::Sim), vec![Rule::WallClock]);
+    }
+
+    #[test]
+    fn strings_comments_and_doc_comments_do_not_match() {
+        let src = "\
+//! Talks about HashMap iteration order in docs.
+/// Mentions Instant::now in a doc comment.
+// plain comment: thread_rng
+fn f() { let s = \"HashMap and Instant::now and .unwrap()\"; }
+/* block comment: SystemTime::now
+   spanning lines with HashSet */
+fn g() {}
+";
+        assert!(rules_found(src, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
+    fn severity_split_matches_policy() {
+        assert_eq!(Rule::HashContainer.severity(), Severity::Warning);
+        assert_eq!(Rule::LibUnwrap.severity(), Severity::Warning);
+        assert_eq!(Rule::WallClock.severity(), Severity::Error);
+        assert_eq!(Rule::UnseededRng.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn classify_maps_workspace_layout() {
+        let p = |s: &str| classify(Path::new(s));
+        assert_eq!(p("crates/engine/src/queue.rs"), FileClass::CoreLib);
+        assert_eq!(p("crates/net/src/sim.rs"), FileClass::CoreLib);
+        assert_eq!(p("crates/metrics/src/counters.rs"), FileClass::Sim);
+        assert_eq!(p("crates/bench/src/bin/all_figs.rs"), FileClass::Bench);
+        assert_eq!(p("tests/cross_crate_props.rs"), FileClass::Test);
+        assert_eq!(p("src/bin/rlbsim.rs"), FileClass::Sim);
+        assert_eq!(p("crates/xtask/src/lint.rs"), FileClass::Bench);
+    }
+
+    #[test]
+    fn char_literals_do_not_unbalance_string_masking() {
+        // The '"' char literal must not open a string region that would
+        // swallow the rest of the line.
+        let src = "fn f(c: char) { if c == '\"' { let m: HashMap<u8,u8> = HashMap::new(); } }\n";
+        let found = rules_found(src, FileClass::Sim);
+        assert_eq!(found, vec![Rule::HashContainer]);
+    }
+}

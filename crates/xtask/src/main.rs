@@ -1,0 +1,43 @@
+//! Workspace automation (the cargo-xtask pattern; alias in
+//! `.cargo/config.toml`).
+//!
+//! ```text
+//! cargo xtask lint [--deny]
+//! ```
+//!
+//! runs the determinism / robustness scanner over every workspace `.rs`
+//! file — see [`lint`] for the rules. Without `--deny`, warnings are
+//! advisory and only error-severity findings fail the run; `--deny`
+//! (CI mode) fails on any finding.
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let deny = args.iter().any(|a| a == "--deny");
+            if let Some(bad) = args[1..].iter().find(|a| *a != "--deny") {
+                eprintln!("unknown argument `{bad}`");
+                return ExitCode::from(2);
+            }
+            lint::run(&workspace_root(), deny)
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--deny]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/xtask lives two levels below the workspace root")
+        .to_path_buf()
+}

@@ -156,6 +156,7 @@ fn main() {
         if args.flag("--no-pfc") { "off" } else { "on" },
     );
 
+    // lint:allow(wall-clock) -- CLI progress timing only, never fed to the sim
     let t0 = std::time::Instant::now();
     let res = scenario.run();
     let s = res.summary();

@@ -130,8 +130,10 @@ fn reordering_grows_with_affected_paths() {
 #[test]
 fn recirculation_budget_and_ablation() {
     let mc = small_motivation(13);
-    let mut no_recirc = RlbConfig::default();
-    no_recirc.enable_recirculation = false;
+    let no_recirc = RlbConfig {
+        enable_recirculation: false,
+        ..RlbConfig::default()
+    };
     let res = motivation(&mc, Scheme::Presto, Some(no_recirc)).run();
     assert_eq!(res.counters.recirculations, 0, "ablation must disable recirculation");
 

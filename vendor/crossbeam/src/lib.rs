@@ -1,0 +1,77 @@
+//! Vendored, offline stub of the slice of `crossbeam` the workspace uses:
+//! `crossbeam::thread::scope` with panic-as-`Err` semantics, implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63).
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Mirror of `crossbeam::thread::Scope`; wraps the std scope so spawned
+    /// closures receive a `&Scope` argument as in crossbeam's API.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// returning. A panicking child thread surfaces as `Err(payload)`,
+    /// matching crossbeam's contract.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_returns() {
+            let mut data = [0u32; 8];
+            let res = super::scope(|s| {
+                for chunk in data.chunks_mut(2) {
+                    s.spawn(move |_| {
+                        for x in chunk.iter_mut() {
+                            *x += 1;
+                        }
+                    });
+                }
+                42
+            });
+            assert_eq!(res.unwrap(), 42);
+            assert!(data.iter().all(|&x| x == 1));
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let res = super::scope(|s| {
+                s.spawn(|_| panic!("child died"));
+            });
+            assert!(res.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_via_scope_arg() {
+            let res = super::scope(|s| {
+                s.spawn(|inner| {
+                    inner.spawn(|_| 7u32).join().unwrap()
+                })
+                .join()
+                .unwrap()
+            });
+            assert_eq!(res.unwrap(), 7);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Vendored, offline stub of `serde`: the two marker traits plus no-op
+//! derive macros. See `vendor/serde_derive` for why emitting no impls is
+//! sound for this workspace (nothing in-tree serializes; derives exist for
+//! forward compatibility of config/record types).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

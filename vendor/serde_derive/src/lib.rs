@@ -1,0 +1,21 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde stub. The workspace derives these traits on config/record structs
+//! for forward compatibility, but nothing in-tree performs serialization
+//! (there is no serde_json in the build), so emitting no impl is sound: any
+//! future code that actually *bounds* on the traits will fail to compile,
+//! loudly, instead of silently misbehaving.
+//!
+//! `attributes(serde)` registers the `#[serde(...)]` helper attribute so
+//! field annotations like `#[serde(skip)]` keep parsing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
