@@ -14,25 +14,19 @@
 //! cargo run --release -p rlb-bench --bin ablations
 //! ```
 
-use rlb_bench::figures::common::{run_variant, RunRow};
+use rlb_bench::cli::BenchCli;
+use rlb_bench::figures::common::{pick, run_variant, RunRow};
 use rlb_core::{RlbConfig, SuboptimalPolicy};
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
 use rlb_metrics::{ms, Table};
 use rlb_net::scenario::{motivation, MotivationConfig};
 
-fn base_scenario() -> MotivationConfig {
-    MotivationConfig {
-        n_paths: 40,
-        n_background: 24,
-        background_load: 0.2,
-        congested_flow_bytes: 30_000_000,
-        horizon: SimTime::from_ms(3),
-        ..MotivationConfig::default()
-    }
-}
-
 fn main() {
+    let cli = BenchCli::parse_or_exit(
+        "ablations",
+        "DESIGN.md implementation-choice ablations on the motivation scenario",
+    );
     let variants: Vec<(&str, Option<RlbConfig>)> = vec![
         ("vanilla (no RLB)", None),
         ("RLB default", Some(RlbConfig::default())),
@@ -80,7 +74,14 @@ fn main() {
         ),
     ];
 
-    let mc = base_scenario();
+    let mc = MotivationConfig {
+        n_paths: 40,
+        n_background: pick(cli.scale, 24, 100),
+        background_load: pick(cli.scale, 0.2, 0.3),
+        congested_flow_bytes: 30_000_000,
+        horizon: SimTime::from_ms(pick(cli.scale, 3, 10)),
+        ..MotivationConfig::default()
+    };
     let mut table = Table::new(vec![
         "variant",
         "bg_avg_fct_ms",

@@ -1,34 +1,17 @@
 //! Runs every figure back-to-back (the EXPERIMENTS.md regeneration entry
-//! point): `cargo run --release -p rlb-bench --bin all_figs [--paper-scale]`.
-use rlb_bench::{figures::*, Scale};
-use rlb_workloads::Workload;
+//! point). Equivalent to `bench` with no `--figs` filter.
+//!
+//! ```sh
+//! cargo run --release -p rlb-bench --bin all_figs -- [--paper-scale] [--json PATH]
+//! ```
+
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    let t0 = std::time::Instant::now();
-    println!("=== Fig. 3 ===");
-    println!("{}", fig3::render(&fig3::run(scale)));
-    println!("=== Fig. 4(a) ===");
-    println!("{}", fig4::render(&fig4::run_affected_paths(scale), "affected_paths"));
-    println!("=== Fig. 4(b) ===");
-    println!("{}", fig4::render(&fig4::run_bursts(scale), "bursts"));
-    println!("=== Fig. 6 ===");
-    println!("{}", fig6::render(&fig6::run(scale)));
-    println!("=== Fig. 7 ===");
-    for wl in Workload::ALL {
-        println!("{}", fig7::render(&fig7::run(scale, wl)));
+    let cli = BenchCli::parse_or_exit("all_figs", "regenerate every figure of the paper");
+    if let Err(e) = drive(&cli, None) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-    println!("=== Fig. 8 (degree) ===");
-    println!("{}", fig8::render(&fig8::run_degrees(scale), "degree"));
-    println!("=== Fig. 8 (response size) ===");
-    println!("{}", fig8::render(&fig8::run_response_sizes(scale), "response_MB"));
-    println!("=== Fig. 9 ===");
-    println!("{}", fig9::render(&fig9::run(scale)));
-    println!("=== Fig. 10 (Qth) ===");
-    println!("{}", fig10::render(&fig10::run_qth(scale), "Qth"));
-    println!("=== Fig. 10 (dt) ===");
-    println!("{}", fig10::render(&fig10::run_dt(scale), "dt"));
-    println!("=== Fig. 10 (supplementary: Qth on the motivation scenario) ===");
-    println!("{}", fig10::render(&fig10::run_qth_motivation(scale), "Qth"));
-    println!("total wall time: {:?}", t0.elapsed());
 }

@@ -1,16 +1,14 @@
 //! Regenerates Fig. 10: sensitivity to Qth and Δt.
-use rlb_bench::{figures::fig10, Scale};
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Fig. 10(a) — sensitivity to the warning threshold Qth");
-    println!("scale: {scale:?}\n");
-    let a = fig10::run_qth(scale);
-    println!("{}", fig10::render(&a, "Qth"));
-    println!("Fig. 10(b) — sensitivity to the sampling interval Δt\n");
-    let b = fig10::run_dt(scale);
-    println!("{}", fig10::render(&b, "dt"));
-    println!("Supplementary: Qth sweep on the pause-heavy motivation scenario\n");
-    let c = fig10::run_qth_motivation(scale);
-    println!("{}", fig10::render(&c, "Qth"));
+    let cli = BenchCli::parse_or_exit(
+        "fig10",
+        "Fig. 10 — RLB sensitivity to the warning threshold Qth and interval dt",
+    );
+    if let Err(e) = drive(&cli, Some(&["fig10"])) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

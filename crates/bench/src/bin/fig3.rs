@@ -1,10 +1,14 @@
 //! Regenerates Fig. 3: PFC's impact on the four LB schemes.
-use rlb_bench::{figures::fig3, Scale};
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Fig. 3 — LB schemes with vs. without PFC (motivation dumbbell, background flows)");
-    println!("scale: {scale:?}\n");
-    let rows = fig3::run(scale);
-    println!("{}", fig3::render(&rows));
+    let cli = BenchCli::parse_or_exit(
+        "fig3",
+        "Fig. 3 — LB schemes with vs. without PFC (motivation dumbbell)",
+    );
+    if let Err(e) = drive(&cli, Some(&["fig3"])) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

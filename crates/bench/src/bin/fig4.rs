@@ -1,13 +1,14 @@
 //! Regenerates Fig. 4: reordering vs. affected paths (a) and bursts (b).
-use rlb_bench::{figures::fig4, Scale};
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Fig. 4(a) — out-of-order packets vs. number of affected paths");
-    println!("scale: {scale:?}\n");
-    let a = fig4::run_affected_paths(scale);
-    println!("{}", fig4::render(&a, "affected_paths"));
-    println!("Fig. 4(b) — out-of-order packets vs. number of continuous bursts\n");
-    let b = fig4::run_bursts(scale);
-    println!("{}", fig4::render(&b, "bursts"));
+    let cli = BenchCli::parse_or_exit(
+        "fig4",
+        "Fig. 4 — OOO packets vs. PFC-affected paths and continuous bursts",
+    );
+    if let Err(e) = drive(&cli, Some(&["fig4"])) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

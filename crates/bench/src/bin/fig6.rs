@@ -1,17 +1,21 @@
 //! Regenerates Fig. 6: FCT CDFs, each scheme vs. its RLB version.
-use rlb_bench::{figures::fig6, Scale};
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Fig. 6 — FCT under symmetric topology, Web Search @ 60% load");
-    println!("scale: {scale:?}\n");
-    let rows = fig6::run(scale);
-    println!("{}", fig6::render(&rows));
-    if std::env::args().any(|a| a == "--cdf") {
-        for r in &rows {
-            println!("{}", fig6::render_cdf(r));
+    let cli = BenchCli::parse_or_exit(
+        "fig6",
+        "Fig. 6 — FCT under the symmetric topology (pass --cdf for the curves)",
+    );
+    match drive(&cli, Some(&["fig6"])) {
+        Ok(_) => {
+            if !cli.cdf {
+                println!("(pass --cdf to dump the full CDF series)");
+            }
         }
-    } else {
-        println!("(pass --cdf to dump the full CDF series)");
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,13 +1,14 @@
 //! Regenerates Fig. 7: AFCT vs. load in the asymmetric topology.
-use rlb_bench::{figures::fig7, Scale};
-use rlb_workloads::Workload;
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Fig. 7 — AFCT vs. load, asymmetric topology (20% links at 10G)");
-    println!("scale: {scale:?}\n");
-    for wl in Workload::ALL {
-        let rows = fig7::run(scale, wl);
-        println!("{}", fig7::render(&rows));
+    let cli = BenchCli::parse_or_exit(
+        "fig7",
+        "Fig. 7 — AFCT vs. load, asymmetric topology (20% links at 10G)",
+    );
+    if let Err(e) = drive(&cli, Some(&["fig7"])) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }

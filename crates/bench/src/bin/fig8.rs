@@ -1,13 +1,14 @@
 //! Regenerates Fig. 8: incast reordering and completion time.
-use rlb_bench::{figures::fig8, Scale};
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Fig. 8(a,c) — varying incast degree (total response 4MB)");
-    println!("scale: {scale:?}\n");
-    let a = fig8::run_degrees(scale);
-    println!("{}", fig8::render(&a, "degree"));
-    println!("Fig. 8(b,d) — varying total response size (degree 15)\n");
-    let b = fig8::run_response_sizes(scale);
-    println!("{}", fig8::render(&b, "response_MB"));
+    let cli = BenchCli::parse_or_exit(
+        "fig8",
+        "Fig. 8 — incast OOO ratio and completion vs. degree and response size",
+    );
+    if let Err(e) = drive(&cli, Some(&["fig8"])) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

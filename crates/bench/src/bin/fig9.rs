@@ -1,10 +1,14 @@
 //! Regenerates Fig. 9: the packet-recirculation ablation.
-use rlb_bench::{figures::fig9, Scale};
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
 
 fn main() {
-    let scale = Scale::from_args();
-    println!("Fig. 9 — effectiveness of packet recirculation (99p FCT)");
-    println!("scale: {scale:?}\n");
-    let rows = fig9::run(scale);
-    println!("{}", fig9::render(&rows));
+    let cli = BenchCli::parse_or_exit(
+        "fig9",
+        "Fig. 9 — effectiveness of packet recirculation (99p FCT)",
+    );
+    if let Err(e) = drive(&cli, Some(&["fig9"])) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

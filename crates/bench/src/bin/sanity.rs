@@ -6,6 +6,8 @@
 //! cargo run --release -p rlb-bench --bin sanity
 //! ```
 
+use rlb_bench::cli::BenchCli;
+use rlb_bench::figures::common::pick;
 use rlb_core::RlbConfig;
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
@@ -13,12 +15,16 @@ use rlb_metrics::{ms, FctSummary, Table};
 use rlb_net::scenario::{motivation, MotivationConfig, BACKGROUND_GROUP};
 
 fn main() {
+    let cli = BenchCli::parse_or_exit(
+        "sanity",
+        "no PFC / PFC / PFC+RLB smoke rows on the motivation dumbbell",
+    );
     let mc = MotivationConfig {
         n_paths: 40,
-        n_background: 24,
-        background_load: 0.2,
+        n_background: pick(cli.scale, 24, 100),
+        background_load: pick(cli.scale, 0.2, 0.3),
         congested_flow_bytes: 30_000_000,
-        horizon: SimTime::from_ms(3),
+        horizon: SimTime::from_ms(pick(cli.scale, 3, 10)),
         ..MotivationConfig::default()
     };
     let mut table = Table::new(vec![

@@ -1,0 +1,270 @@
+//! The shared CLI for every bench binary.
+//!
+//! Replaces the old per-binary argv scans (`Scale::from_args`) with one
+//! parser so `--help`, `--paper-scale`, `--seeds`, `--jobs`, `--json`,
+//! `--no-cache`, `--cache-dir`, `--figs`, `--cdf`, and `--stable-json`
+//! mean the same thing everywhere.
+
+use crate::runner;
+use crate::Scale;
+use std::path::PathBuf;
+
+/// Parsed options common to all bench binaries.
+#[derive(Debug, Clone)]
+pub struct BenchCli {
+    pub scale: Scale,
+    /// Seed replicates per experiment point (`--seeds N`, default 1).
+    /// Replicate `i` runs each point with the figure's base seed + `i`.
+    pub seeds: u32,
+    /// Worker-thread cap (`--jobs N`); default: available parallelism.
+    pub jobs: Option<usize>,
+    /// Write a schema-versioned JSON report here (`--json PATH`).
+    pub json: Option<PathBuf>,
+    /// Disable the result cache (`--no-cache`).
+    pub no_cache: bool,
+    /// Cache directory (`--cache-dir PATH`, default `target/bench-cache`).
+    pub cache_dir: PathBuf,
+    /// Figure subset (`--figs fig3,fig7`); `None` = the binary's default.
+    pub figs: Option<Vec<String>>,
+    /// Dump per-variant CDK/CDF series where a figure provides them.
+    pub cdf: bool,
+    /// Omit wall-clock and cache fields from the JSON report so repeated
+    /// runs are byte-identical (used by the determinism tests).
+    pub stable_json: bool,
+}
+
+impl Default for BenchCli {
+    fn default() -> Self {
+        BenchCli {
+            scale: Scale::Quick,
+            seeds: 1,
+            jobs: None,
+            json: None,
+            no_cache: false,
+            cache_dir: runner::default_cache_dir(),
+            figs: None,
+            cdf: false,
+            stable_json: false,
+        }
+    }
+}
+
+impl BenchCli {
+    /// The seed offsets the figure registry receives: `[0, 1, .., N-1]`.
+    pub fn seed_offsets(&self) -> Vec<u64> {
+        (0..self.seeds as u64).collect()
+    }
+
+    /// Runner options implied by the flags.
+    pub fn runner_config(&self, progress: bool) -> runner::RunnerConfig {
+        runner::RunnerConfig {
+            threads: self.jobs,
+            cache_dir: if self.no_cache {
+                None
+            } else {
+                Some(self.cache_dir.clone())
+            },
+            progress,
+        }
+    }
+
+    /// Parse an argument list (without the program name). Returns
+    /// `Ok(None)` when `--help` was requested (help text already printed
+    /// to stdout by the caller via [`help_text`]).
+    pub fn parse(bin: &str, about: &str, args: &[String]) -> Result<Option<BenchCli>, String> {
+        let mut cli = BenchCli::default();
+        let mut it = args.iter();
+        let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--help" | "-h" => {
+                    println!("{}", help_text(bin, about));
+                    return Ok(None);
+                }
+                "--paper-scale" => cli.scale = Scale::Paper,
+                "--quick" => cli.scale = Scale::Quick,
+                "--seeds" => {
+                    let v = value("--seeds", &mut it)?;
+                    cli.seeds = v
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--seeds expects a positive integer, got `{v}`"))?;
+                }
+                "--jobs" => {
+                    let v = value("--jobs", &mut it)?;
+                    cli.jobs = Some(
+                        v.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| {
+                                format!("--jobs expects a positive integer, got `{v}`")
+                            })?,
+                    );
+                }
+                "--json" => cli.json = Some(PathBuf::from(value("--json", &mut it)?)),
+                "--no-cache" => cli.no_cache = true,
+                "--cache-dir" => cli.cache_dir = PathBuf::from(value("--cache-dir", &mut it)?),
+                "--figs" => {
+                    let v = value("--figs", &mut it)?;
+                    let names: Vec<String> = v
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if names.is_empty() {
+                        return Err("--figs expects a comma-separated list, e.g. fig3,fig7".into());
+                    }
+                    cli.figs = Some(names);
+                }
+                "--cdf" => cli.cdf = true,
+                "--stable-json" => cli.stable_json = true,
+                other => {
+                    return Err(format!(
+                        "unknown flag `{other}` — run `{bin} --help` for usage"
+                    ))
+                }
+            }
+        }
+        Ok(Some(cli))
+    }
+
+    /// Parse `std::env::args()`; prints help/errors and exits as needed.
+    pub fn parse_or_exit(bin: &str, about: &str) -> BenchCli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match BenchCli::parse(bin, about, &args) {
+            Ok(Some(cli)) => cli,
+            Ok(None) => std::process::exit(0),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Per-binary help text: a binary-specific about line over the shared
+/// flag reference.
+pub fn help_text(bin: &str, about: &str) -> String {
+    format!(
+        "\
+{bin} — {about}
+
+USAGE:
+    cargo run --release -p rlb-bench --bin {bin} -- [FLAGS]
+
+FLAGS:
+    --paper-scale        Run at the paper's 12x12x24 fabric scale
+                         (default: Quick, the CI-friendly scaled fabric)
+    --quick              Force Quick scale (the default)
+    --seeds N            Seed replicates per experiment point; point
+                         metrics are averaged over seeds (default: 1)
+    --jobs N             Cap the parallel worker threads
+                         (default: all available cores)
+    --json PATH          Write a schema-versioned JSON report
+                         (e.g. BENCH_fig3_quick.json)
+    --no-cache           Ignore and do not write the result cache
+    --cache-dir PATH     Result cache location
+                         (default: target/bench-cache)
+    --figs a,b           Run only these figures (registry names, e.g.
+                         fig3,fig7); binaries tied to one figure ignore it
+    --cdf                Also dump FCT CDF series where available (fig6)
+    --stable-json        Omit wall-clock/cache fields from the JSON report
+                         so repeated runs are byte-identical
+    -h, --help           This text
+
+The result cache keys each point by a content hash of its full serialized
+configuration; rm -rf the cache dir (or pass --no-cache) after changing
+simulator code. See EXPERIMENTS.md for the regeneration workflow."
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Option<BenchCli>, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        BenchCli::parse("bench", "test", &args)
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]).expect("ok").expect("not help");
+        assert_eq!(cli.scale, Scale::Quick);
+        assert_eq!(cli.seeds, 1);
+        assert_eq!(cli.seed_offsets(), vec![0]);
+        assert!(cli.jobs.is_none() && cli.json.is_none() && !cli.no_cache);
+        assert_eq!(cli.cache_dir, runner::default_cache_dir());
+        assert!(cli.figs.is_none() && !cli.cdf && !cli.stable_json);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let cli = parse(&[
+            "--paper-scale",
+            "--seeds",
+            "3",
+            "--jobs",
+            "8",
+            "--json",
+            "out.json",
+            "--no-cache",
+            "--cache-dir",
+            "/tmp/c",
+            "--figs",
+            "fig3, fig7",
+            "--cdf",
+            "--stable-json",
+        ])
+        .expect("ok")
+        .expect("not help");
+        assert_eq!(cli.scale, Scale::Paper);
+        assert_eq!(cli.seeds, 3);
+        assert_eq!(cli.seed_offsets(), vec![0, 1, 2]);
+        assert_eq!(cli.jobs, Some(8));
+        assert_eq!(cli.json.as_deref(), Some(std::path::Path::new("out.json")));
+        assert!(cli.no_cache);
+        assert_eq!(cli.cache_dir, PathBuf::from("/tmp/c"));
+        assert_eq!(
+            cli.figs,
+            Some(vec!["fig3".to_string(), "fig7".to_string()])
+        );
+        assert!(cli.cdf && cli.stable_json);
+        // --no-cache wins over --cache-dir in the runner config.
+        assert!(cli.runner_config(false).cache_dir.is_none());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["--seeds"]).expect_err("missing").contains("--seeds"));
+        assert!(parse(&["--seeds", "0"]).expect_err("zero").contains("positive"));
+        assert!(parse(&["--jobs", "x"]).expect_err("nan").contains("--jobs"));
+        assert!(parse(&["--bogus"]).expect_err("unknown").contains("--bogus"));
+        assert!(parse(&["--figs", ","]).expect_err("empty").contains("--figs"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse(&["--help"]).expect("ok").is_none());
+        assert!(parse(&["-h", "--bogus"]).expect("ok").is_none());
+        let text = help_text("fig3", "about line");
+        assert!(text.contains("fig3 — about line"));
+        for flag in [
+            "--paper-scale",
+            "--seeds",
+            "--jobs",
+            "--json",
+            "--no-cache",
+            "--cache-dir",
+            "--figs",
+            "--stable-json",
+        ] {
+            assert!(text.contains(flag), "help must document {flag}");
+        }
+    }
+}

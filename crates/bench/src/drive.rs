@@ -1,0 +1,236 @@
+//! The shared driver behind every bench binary: resolve the requested
+//! figures from the registry, expand them into one job batch, run it
+//! through the cached parallel runner, reduce per figure, print the
+//! tables, and (with `--json`) write the schema-versioned
+//! `BENCH_<fig>_<scale>.json` report.
+
+use crate::cli::BenchCli;
+use crate::figures::{by_name, registry, Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{run_jobs, JobOutcome, RunSummary, CACHE_SCHEMA_VERSION};
+
+/// Resolve the figure list: `--figs` wins, then the binary's default
+/// subset, then the whole registry. Unknown names are an error listing
+/// what exists.
+pub fn resolve_figures(
+    cli: &BenchCli,
+    default_figs: Option<&[&str]>,
+) -> Result<Vec<&'static dyn Figure>, String> {
+    let names: Vec<String> = match (&cli.figs, default_figs) {
+        (Some(figs), _) => figs.clone(),
+        (None, Some(defaults)) => defaults.iter().map(|s| s.to_string()).collect(),
+        (None, None) => registry().iter().map(|f| f.name().to_string()).collect(),
+    };
+    names
+        .iter()
+        .map(|n| {
+            by_name(n).ok_or_else(|| {
+                format!(
+                    "unknown figure `{n}` — known figures: {}",
+                    registry()
+                        .iter()
+                        .map(|f| f.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+        })
+        .collect()
+}
+
+/// Run the figures selected by `cli` end to end. Returns the per-figure
+/// reports (in run order) alongside the batch summary, after printing
+/// tables and writing the JSON report if requested.
+pub fn drive(
+    cli: &BenchCli,
+    default_figs: Option<&[&str]>,
+) -> Result<Vec<(&'static dyn Figure, FigureReport)>, String> {
+    let figures = resolve_figures(cli, default_figs)?;
+    let offsets = cli.seed_offsets();
+
+    // One flat batch: the runner interleaves jobs from all figures across
+    // the worker pool, so a slow figure can't serialize the rest.
+    let mut jobs = Vec::new();
+    let mut ranges = Vec::new();
+    for fig in &figures {
+        let start = jobs.len();
+        jobs.append(&mut fig.jobs(cli.scale, &offsets));
+        ranges.push(start..jobs.len());
+    }
+    let summary = run_jobs(jobs, &cli.runner_config(true))?;
+
+    let mut reports = Vec::new();
+    for (fig, range) in figures.iter().zip(ranges) {
+        let outcomes = &summary.outcomes[range];
+        let report = fig.reduce(outcomes);
+        for (title, table) in &report.sections {
+            println!("{title}\n{table}");
+        }
+        if cli.cdf {
+            for dump in &report.cdf_dumps {
+                println!("{dump}");
+            }
+        }
+        reports.push((*fig, report));
+    }
+    println!(
+        "{} point(s): {} executed, {} cached, {:.1}s wall",
+        summary.outcomes.len(),
+        summary.executed,
+        summary.cache_hits,
+        summary.total_wall_ms / 1e3
+    );
+
+    if let Some(path) = &cli.json {
+        let report = build_report(cli, &reports, &summary);
+        std::fs::write(path, report.pretty())
+            .map_err(|e| format!("cannot write report {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(reports)
+}
+
+fn point_json(o: &JobOutcome, stable: bool) -> Json {
+    let mut p = Json::obj([
+        ("fig", Json::Str(o.fig.to_string())),
+        ("label", Json::Str(o.label.clone())),
+        ("seed", Json::U64(o.seed)),
+        ("key", Json::Str(o.key_hex.clone())),
+        ("metrics", o.metrics.clone()),
+    ]);
+    if !stable {
+        p.set("wall_ms", Json::F64(o.wall_ms));
+        p.set("cached", Json::Bool(o.cached));
+    }
+    p
+}
+
+/// The schema-versioned report object. With `--stable-json`, wall-clock
+/// and cache fields are omitted so byte-identical inputs yield
+/// byte-identical reports (the determinism tests rely on this).
+pub fn build_report(
+    cli: &BenchCli,
+    reports: &[(&'static dyn Figure, FigureReport)],
+    summary: &RunSummary,
+) -> Json {
+    let mut out = Json::obj([
+        ("schema_version", Json::U64(CACHE_SCHEMA_VERSION as u64)),
+        ("generator", Json::Str("rlb-bench".to_string())),
+        ("scale", Json::Str(cli.scale.name().to_string())),
+        ("seeds", Json::U64(cli.seeds as u64)),
+        (
+            "figures",
+            Json::Arr(
+                reports
+                    .iter()
+                    .map(|(f, _)| {
+                        Json::obj([
+                            ("name", Json::Str(f.name().to_string())),
+                            ("description", Json::Str(f.description().to_string())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Obj(
+                reports
+                    .iter()
+                    .map(|(f, r)| (f.name().to_string(), r.rows.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "points",
+            Json::Arr(
+                summary
+                    .outcomes
+                    .iter()
+                    .map(|o| point_json(o, cli.stable_json))
+                    .collect(),
+            ),
+        ),
+    ]);
+    if !cli.stable_json {
+        out.set(
+            "timing",
+            Json::obj([
+                ("executed", Json::U64(summary.executed as u64)),
+                ("cache_hits", Json::U64(summary.cache_hits as u64)),
+                ("total_wall_ms", Json::F64(summary.total_wall_ms)),
+            ]),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_defaults_and_rejects_unknown() {
+        let cli = BenchCli::default();
+        let all = resolve_figures(&cli, None).expect("all figures");
+        assert_eq!(all.len(), registry().len());
+        let subset = resolve_figures(&cli, Some(&["fig6"])).expect("subset");
+        assert_eq!(subset.len(), 1);
+        assert_eq!(subset[0].name(), "fig6");
+
+        let cli = BenchCli {
+            figs: Some(vec!["fig3".into(), "nope".into()]),
+            ..BenchCli::default()
+        };
+        let err = match resolve_figures(&cli, None) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown figure must be rejected"),
+        };
+        assert!(err.contains("nope") && err.contains("fig3"), "{err}");
+    }
+
+    #[test]
+    fn figs_flag_overrides_binary_default() {
+        let cli = BenchCli {
+            figs: Some(vec!["fig9".into()]),
+            ..BenchCli::default()
+        };
+        let figs = resolve_figures(&cli, Some(&["fig3"])).expect("override");
+        assert_eq!(figs.len(), 1);
+        assert_eq!(figs[0].name(), "fig9");
+    }
+
+    #[test]
+    fn stable_report_omits_timing_fields() {
+        let outcome = JobOutcome {
+            fig: "fig3",
+            label: "x".into(),
+            seed: 1,
+            key_hex: "00".into(),
+            metrics: Json::obj([("m", Json::U64(1))]),
+            wall_ms: 12.0,
+            cached: true,
+        };
+        let summary = RunSummary {
+            outcomes: vec![outcome],
+            cache_hits: 1,
+            executed: 0,
+            total_wall_ms: 12.0,
+        };
+        let mut cli = BenchCli::default();
+        let full = build_report(&cli, &[], &summary);
+        assert!(full.get("timing").is_some());
+        assert!(full.path(&["points"]).unwrap().as_arr().unwrap()[0]
+            .get("wall_ms")
+            .is_some());
+        cli.stable_json = true;
+        let stable = build_report(&cli, &[], &summary);
+        assert!(stable.get("timing").is_none());
+        let p = &stable.path(&["points"]).unwrap().as_arr().unwrap()[0];
+        assert!(p.get("wall_ms").is_none() && p.get("cached").is_none());
+        assert_eq!(
+            stable.get("schema_version").and_then(Json::as_u64),
+            Some(CACHE_SCHEMA_VERSION as u64)
+        );
+    }
+}

@@ -1,11 +1,13 @@
 //! Shared plumbing for the per-figure experiment modules.
 
+use crate::json::Json;
 use crate::Scale;
 use rlb_core::RlbConfig;
 use rlb_lb::Scheme;
 use rlb_metrics::{FabricCounters, FctSummary, FlowRecord};
 use rlb_net::scenario::{Scenario, BACKGROUND_GROUP};
 use rlb_net::RunResult;
+use rlb_workloads::Workload;
 
 /// A scheme variant under test.
 #[derive(Debug, Clone)]
@@ -99,6 +101,92 @@ pub fn pick<T>(scale: Scale, quick: T, paper: T) -> T {
         Scale::Quick => quick,
         Scale::Paper => paper,
     }
+}
+
+/// Inverse of [`Workload::name`], for reduce steps reading metrics back.
+pub fn workload_by_name(name: &str) -> Workload {
+    Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}` in metrics"))
+}
+
+fn summary_json(s: &FctSummary) -> Json {
+    Json::obj([
+        ("flows_total", Json::U64(s.flows_total as u64)),
+        ("flows_completed", Json::U64(s.flows_completed as u64)),
+        ("avg_fct_ms", Json::F64(s.avg_fct_ms)),
+        ("p50_fct_ms", Json::F64(s.p50_fct_ms)),
+        ("p95_fct_ms", Json::F64(s.p95_fct_ms)),
+        ("p99_fct_ms", Json::F64(s.p99_fct_ms)),
+        ("max_fct_ms", Json::F64(s.max_fct_ms)),
+        ("ooo_ratio", Json::F64(s.ooo_ratio)),
+        ("p99_ood", Json::F64(s.p99_ood)),
+        ("total_ooo_packets", Json::U64(s.total_ooo_packets)),
+        ("total_packets_sent", Json::U64(s.total_packets_sent)),
+        ("total_naks", Json::U64(s.total_naks)),
+        ("total_recirculations", Json::U64(s.total_recirculations)),
+    ])
+}
+
+fn counters_json(c: &FabricCounters) -> Json {
+    Json::obj([
+        ("pause_frames", Json::U64(c.pause_frames)),
+        ("resume_frames", Json::U64(c.resume_frames)),
+        ("paused_port_time_ps", Json::U64(c.paused_port_time_ps)),
+        ("cnm_generated", Json::U64(c.cnm_generated)),
+        ("cnm_relayed", Json::U64(c.cnm_relayed)),
+        ("recirculations", Json::U64(c.recirculations)),
+        ("reroutes", Json::U64(c.reroutes)),
+        ("forwards_unwarned", Json::U64(c.forwards_unwarned)),
+        (
+            "recirculation_budget_exhausted",
+            Json::U64(c.recirculation_budget_exhausted),
+        ),
+        ("buffer_drops", Json::U64(c.buffer_drops)),
+        ("switch_packets", Json::U64(c.switch_packets)),
+        ("ecn_marks", Json::U64(c.ecn_marks)),
+    ])
+}
+
+/// The standard metrics object every runner job produces: figure-specific
+/// `extras` first (sweep coordinates — scheme, x, load, ...), then the
+/// full FCT summaries (all flows and measured background flows), fabric
+/// counters, and the downsampled FCT CDF. Reduce steps read from this;
+/// the JSON report embeds it verbatim, so the perf trajectory keeps every
+/// signal even where a figure's table only shows two columns.
+pub fn run_metrics(label: String, sc: Scenario, extras: Vec<(&'static str, Json)>) -> Json {
+    let row = run_variant(label, sc);
+    let mut m = Json::Obj(Vec::new());
+    for (k, v) in extras {
+        m.set(k, v);
+    }
+    m.set("variant", Json::Str(row.label.clone()));
+    m.set("all", summary_json(&row.all));
+    m.set("background", summary_json(&row.background));
+    m.set("counters", counters_json(&row.counters));
+    m.set("sim_seconds", Json::F64(row.sim_seconds));
+    m.set(
+        "pause_rate_per_sec",
+        Json::F64(
+            row.counters
+                .pause_rate_per_sec((row.sim_seconds * 1e12) as u64),
+        ),
+    );
+    m.set(
+        "mean_group_completion_ms",
+        Json::F64(row.mean_group_completion_ms),
+    );
+    m.set(
+        "fct_cdf",
+        Json::Arr(
+            row.fct_cdf
+                .iter()
+                .map(|&(x, p)| Json::Arr(vec![Json::F64(x), Json::F64(p)]))
+                .collect(),
+        ),
+    );
+    m
 }
 
 #[cfg(test)]

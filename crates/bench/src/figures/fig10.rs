@@ -5,13 +5,16 @@
 //! Run under DRILL+RLB (the scheme most sensitive to warning quality) on
 //! Web Server and Data Mining at 60 % load.
 
-use super::common::{pick, run_variant};
-use crate::{sweep::parallel_map, Scale};
+use super::common::{pick, run_metrics, workload_by_name};
+use super::{Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{by_label, mean_metric, Job, JobOutcome};
+use crate::Scale;
 use rlb_core::RlbConfig;
 use rlb_engine::{SimDuration, SimTime};
 use rlb_lb::Scheme;
 use rlb_metrics::Table;
-use rlb_net::scenario::{steady_state, SteadyStateConfig};
+use rlb_net::scenario::{motivation, steady_state, MotivationConfig, SteadyStateConfig};
 use rlb_net::TopoConfig;
 use rlb_workloads::Workload;
 
@@ -28,37 +31,19 @@ pub const QTH_FRACTIONS: [f64; 7] = [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
 pub const DT_US: [f64; 7] = [2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0];
 pub const WORKLOADS: [Workload; 2] = [Workload::WebServer, Workload::DataMining];
 
-/// Seeds averaged per point: single-run deltas on this sweep are within
-/// simulation noise, so each point is the mean of three seeds.
-const SEEDS: [u64; 3] = [29, 31, 37];
+/// Inner seeds averaged per point: single-run deltas on this sweep are
+/// within simulation noise, so each point is the mean of three seeds.
+/// CLI seed offsets shift all three bases by `offset * 100` so extra
+/// replicates stay disjoint from the defaults.
+const SEED_BASES: [u64; 3] = [29, 31, 37];
 
-fn run_one(scale: Scale, workload: Workload, rlb: RlbConfig, param: String) -> Row {
-    let mut acc = 0.0;
-    for &seed in &SEEDS {
-        let sc = SteadyStateConfig {
-            topo: pick(scale, TopoConfig::default(), TopoConfig::paper_scale()),
-            workload,
-            load: 0.6,
-            horizon: SimTime::from_ms(pick(scale, 16, 30)),
-            seed,
-        };
-        let row = run_variant(
-            format!("DRILL+RLB {param}"),
-            steady_state(&sc, Scheme::Drill, Some(rlb.clone())),
-        );
-        acc += row.all.avg_fct_ms;
-    }
-    Row {
-        workload,
-        param,
-        avg_fct_ms: acc / SEEDS.len() as f64,
-        normalized_afct: f64::NAN,
-    }
-}
+const PART_QTH: &str = "qth";
+const PART_DT: &str = "dt";
+const PART_QTH_MOTIVATION: &str = "qth_motivation";
 
 /// Normalize AFCT within each workload to that workload's minimum.
 pub fn normalize(rows: &mut [Row]) {
-    for workload in WORKLOADS {
+    for workload in [WORKLOADS[0], WORKLOADS[1], Workload::WebSearch] {
         let min = rows
             .iter()
             .filter(|r| r.workload == workload)
@@ -70,82 +55,214 @@ pub fn normalize(rows: &mut [Row]) {
     }
 }
 
-pub fn run_qth(scale: Scale) -> Vec<Row> {
-    let cases: Vec<(Workload, f64)> = WORKLOADS
-        .iter()
-        .flat_map(|&w| QTH_FRACTIONS.iter().map(move |&q| (w, q)))
-        .collect();
-    let mut rows = parallel_map(cases, |(w, q)| {
-        let rlb = RlbConfig {
-            qth_fraction: q,
-            ..RlbConfig::default()
-        };
-        run_one(scale, w, rlb, format!("{:.0}%", q * 100.0))
-    });
-    normalize(&mut rows);
-    rows
+fn inner_seeds(offsets: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &o in offsets {
+        for &base in &SEED_BASES {
+            out.push(base + o * 100);
+        }
+    }
+    out
 }
 
-pub fn run_dt(scale: Scale) -> Vec<Row> {
-    let cases: Vec<(Workload, f64)> = WORKLOADS
-        .iter()
-        .flat_map(|&w| DT_US.iter().map(move |&d| (w, d)))
-        .collect();
-    let mut rows = parallel_map(cases, |(w, dt_us)| {
-        let base = RlbConfig::default();
-        let rlb = RlbConfig {
-            dt_ps: SimDuration::from_us_f64(dt_us).as_ps(),
-            // Keep the warning lifetime at the same multiple of Δt.
-            warn_lifetime_ps: SimDuration::from_us_f64(dt_us * 10.0).as_ps(),
-            ..base
-        };
-        run_one(scale, w, rlb, format!("{dt_us}us"))
-    });
-    normalize(&mut rows);
-    rows
+fn steady_job(
+    scale: Scale,
+    part: &'static str,
+    workload: Workload,
+    rlb: RlbConfig,
+    param: String,
+    seed: u64,
+) -> Job {
+    let sc = SteadyStateConfig {
+        topo: pick(scale, TopoConfig::default(), TopoConfig::paper_scale()),
+        workload,
+        load: 0.6,
+        horizon: SimTime::from_ms(pick(scale, 16, 30)),
+        seed,
+    };
+    let label = format!("{part} {} {param}", workload.name());
+    let spec = format!("part={part}|scheme=Drill|rlb={rlb:?}|{sc:?}");
+    Job {
+        fig: "fig10",
+        label,
+        seed,
+        spec,
+        run: Box::new(move || {
+            run_metrics(
+                format!("DRILL+RLB {param}"),
+                steady_state(&sc, Scheme::Drill, Some(rlb.clone())),
+                vec![
+                    ("part", Json::Str(part.to_string())),
+                    ("workload", Json::Str(workload.name().to_string())),
+                    ("param", Json::Str(param.clone())),
+                ],
+            )
+        }),
+    }
 }
 
 /// Supplementary sweep: the same Qth fractions on the pause-heavy
 /// motivation scenario (DRILL+RLB, background AFCT). The paper's
 /// steady-state framing leaves the predictor nearly idle at Quick scale
 /// (see EXPERIMENTS.md), so this is where the threshold's effect shows.
-pub fn run_qth_motivation(scale: Scale) -> Vec<Row> {
-    use rlb_net::scenario::{motivation, MotivationConfig};
-    let rows_raw = parallel_map(QTH_FRACTIONS.to_vec(), |q| {
-        let mut acc = 0.0;
-        for &seed in &SEEDS {
-            let mc = MotivationConfig {
-                n_paths: 40,
-                n_background: super::common::pick(scale, 24, 100),
-                background_load: super::common::pick(scale, 0.2, 0.3),
-                congested_flow_bytes: 30_000_000,
-                horizon: SimTime::from_ms(super::common::pick(scale, 3, 10)),
-                seed,
-                ..MotivationConfig::default()
-            };
-            let rlb = RlbConfig {
-                qth_fraction: q,
-                ..RlbConfig::default()
-            };
-            let row = run_variant(
-                format!("DRILL+RLB qth {:.0}%", q * 100.0),
-                motivation(&mc, Scheme::Drill, Some(rlb)),
-            );
-            acc += row.background.avg_fct_ms;
-        }
-        Row {
-            workload: Workload::WebSearch, // the motivation background
-            param: format!("{:.0}%", q * 100.0),
-            avg_fct_ms: acc / SEEDS.len() as f64,
-            normalized_afct: f64::NAN,
-        }
-    });
-    let mut rows = rows_raw;
-    let min = rows.iter().map(|r| r.avg_fct_ms).fold(f64::INFINITY, f64::min);
-    for r in &mut rows {
-        r.normalized_afct = r.avg_fct_ms / min;
+fn motivation_job(scale: Scale, q: f64, seed: u64) -> Job {
+    let mc = MotivationConfig {
+        n_paths: 40,
+        n_background: pick(scale, 24, 100),
+        background_load: pick(scale, 0.2, 0.3),
+        congested_flow_bytes: 30_000_000,
+        horizon: SimTime::from_ms(pick(scale, 3, 10)),
+        seed,
+        ..MotivationConfig::default()
+    };
+    let rlb = RlbConfig {
+        qth_fraction: q,
+        ..RlbConfig::default()
+    };
+    let param = format!("{:.0}%", q * 100.0);
+    let label = format!("{PART_QTH_MOTIVATION} {param}");
+    let spec = format!("part={PART_QTH_MOTIVATION}|scheme=Drill|rlb={rlb:?}|{mc:?}");
+    Job {
+        fig: "fig10",
+        label,
+        seed,
+        spec,
+        run: Box::new(move || {
+            run_metrics(
+                format!("DRILL+RLB qth {param}"),
+                motivation(&mc, Scheme::Drill, Some(rlb.clone())),
+                vec![
+                    ("part", Json::Str(PART_QTH_MOTIVATION.to_string())),
+                    // The motivation background is Web Search traffic.
+                    (
+                        "workload",
+                        Json::Str(Workload::WebSearch.name().to_string()),
+                    ),
+                    ("param", Json::Str(param.clone())),
+                ],
+            )
+        }),
     }
-    rows
+}
+
+pub struct Fig10;
+
+impl Figure for Fig10 {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn description(&self) -> &'static str {
+        "RLB sensitivity: Qth fraction and sampling interval dt (normalized AFCT)"
+    }
+
+    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+        let inner = inner_seeds(seeds);
+        let mut jobs = Vec::new();
+        for workload in WORKLOADS {
+            for &q in &QTH_FRACTIONS {
+                for &seed in &inner {
+                    let rlb = RlbConfig {
+                        qth_fraction: q,
+                        ..RlbConfig::default()
+                    };
+                    jobs.push(steady_job(
+                        scale,
+                        PART_QTH,
+                        workload,
+                        rlb,
+                        format!("{:.0}%", q * 100.0),
+                        seed,
+                    ));
+                }
+            }
+        }
+        for workload in WORKLOADS {
+            for &dt_us in &DT_US {
+                for &seed in &inner {
+                    let rlb = RlbConfig {
+                        dt_ps: SimDuration::from_us_f64(dt_us).as_ps(),
+                        // Keep the warning lifetime at the same multiple of Δt.
+                        warn_lifetime_ps: SimDuration::from_us_f64(dt_us * 10.0).as_ps(),
+                        ..RlbConfig::default()
+                    };
+                    jobs.push(steady_job(
+                        scale,
+                        PART_DT,
+                        workload,
+                        rlb,
+                        format!("{dt_us}us"),
+                        seed,
+                    ));
+                }
+            }
+        }
+        for &q in &QTH_FRACTIONS {
+            for &seed in &inner {
+                jobs.push(motivation_job(scale, q, seed));
+            }
+        }
+        jobs
+    }
+
+    fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport {
+        let mut sections = Vec::new();
+        let mut all_rows = Vec::new();
+        for (part, title, param_name, metric) in [
+            (
+                PART_QTH,
+                "Fig. 10(a) — normalized AFCT vs. Qth fraction (DRILL+RLB)",
+                "qth",
+                &["all", "avg_fct_ms"][..],
+            ),
+            (
+                PART_DT,
+                "Fig. 10(b) — normalized AFCT vs. sampling interval dt (DRILL+RLB)",
+                "dt",
+                &["all", "avg_fct_ms"][..],
+            ),
+            (
+                PART_QTH_MOTIVATION,
+                "Fig. 10(a') — Qth sweep on the motivation scenario (background AFCT)",
+                "qth",
+                &["background", "avg_fct_ms"][..],
+            ),
+        ] {
+            let part_outs: Vec<JobOutcome> = outcomes
+                .iter()
+                .filter(|o| o.metrics.str_of("part") == part)
+                .cloned()
+                .collect();
+            if part_outs.is_empty() {
+                continue;
+            }
+            let mut rows: Vec<Row> = by_label(&part_outs)
+                .into_iter()
+                .map(|(_, reps)| Row {
+                    workload: workload_by_name(reps[0].metrics.str_of("workload")),
+                    param: reps[0].metrics.str_of("param").to_string(),
+                    avg_fct_ms: mean_metric(&reps, metric),
+                    normalized_afct: f64::NAN,
+                })
+                .collect();
+            normalize(&mut rows);
+            sections.push((title.to_string(), render(&rows, param_name)));
+            all_rows.extend(rows.iter().map(|r| {
+                Json::obj([
+                    ("part", Json::Str(part.to_string())),
+                    ("workload", Json::Str(r.workload.name().to_string())),
+                    ("param", Json::Str(r.param.clone())),
+                    ("avg_fct_ms", Json::F64(r.avg_fct_ms)),
+                    ("normalized_afct", Json::F64(r.normalized_afct)),
+                ])
+            }));
+        }
+        FigureReport {
+            sections,
+            rows: Json::Arr(all_rows),
+            cdf_dumps: Vec::new(),
+        }
+    }
 }
 
 pub fn render(rows: &[Row], param_name: &str) -> String {
@@ -194,5 +311,16 @@ mod tests {
             (rows[2].normalized_afct - 1.0).abs() < 1e-12,
             "per-workload normalization"
         );
+    }
+
+    #[test]
+    fn inner_seeds_disjoint_across_offsets() {
+        let s = inner_seeds(&[0, 1, 2]);
+        assert_eq!(s.len(), 9);
+        let mut uniq = s.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 9, "offset*100 keeps replicate seeds disjoint");
+        assert_eq!(&s[..3], &[29, 31, 37], "offset 0 preserves the defaults");
     }
 }

@@ -7,8 +7,11 @@
 //! *background* flows: (a) PFC pause rate, (b) 99th-percentile OOD,
 //! (c) average FCT, (d) 99th-percentile FCT.
 
-use super::common::{pick, run_variant, RunRow, Variant};
-use crate::{sweep::parallel_map, Scale};
+use super::common::{pick, run_metrics, Variant};
+use super::{Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{by_label, mean_metric, Job, JobOutcome};
+use crate::Scale;
 use rlb_engine::SimTime;
 use rlb_metrics::{ms, Table};
 use rlb_net::scenario::{motivation, MotivationConfig};
@@ -38,27 +41,95 @@ pub fn config(scale: Scale) -> MotivationConfig {
     }
 }
 
-pub fn run(scale: Scale) -> Vec<Row> {
-    let mc = config(scale);
-    let cases: Vec<(Variant, bool)> = rlb_lb::Scheme::PAPER_SET
-        .iter()
-        .flat_map(|&s| [(Variant::vanilla(s), true), (Variant::vanilla(s), false)])
-        .collect();
-    parallel_map(cases, |(v, pfc)| {
-        let mut sc = motivation(&mc, v.scheme, v.rlb.clone());
-        sc.cfg.switch.pfc_enabled = pfc;
-        let row: RunRow = run_variant(v.label(), sc);
-        Row {
-            scheme: row.label.clone(),
-            pfc,
-            pause_rate_per_sec: row
-                .counters
-                .pause_rate_per_sec((row.sim_seconds * 1e12) as u64),
-            p99_ood: row.background.p99_ood,
-            avg_fct_ms: row.background.avg_fct_ms,
-            p99_fct_ms: row.background.p99_fct_ms,
+pub struct Fig3;
+
+impl Figure for Fig3 {
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn description(&self) -> &'static str {
+        "LB schemes with vs. without PFC (motivation dumbbell, background flows)"
+    }
+
+    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for &scheme in &rlb_lb::Scheme::PAPER_SET {
+            for pfc in [true, false] {
+                for &offset in seeds {
+                    let mut mc = config(scale);
+                    mc.seed += offset;
+                    let v = Variant::vanilla(scheme);
+                    let label = format!("{} pfc={}", v.label(), if pfc { "on" } else { "off" });
+                    let spec = format!("scheme={scheme:?}|rlb=None|pfc={pfc}|{mc:?}");
+                    let seed = mc.seed;
+                    jobs.push(Job {
+                        fig: "fig3",
+                        label,
+                        seed,
+                        spec,
+                        run: Box::new(move || {
+                            let mut sc = motivation(&mc, scheme, None);
+                            sc.cfg.switch.pfc_enabled = pfc;
+                            run_metrics(
+                                Variant::vanilla(scheme).label(),
+                                sc,
+                                vec![
+                                    ("scheme", Json::Str(scheme.name().to_string())),
+                                    ("pfc", Json::Bool(pfc)),
+                                ],
+                            )
+                        }),
+                    });
+                }
+            }
         }
-    })
+        jobs
+    }
+
+    fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport {
+        let rows: Vec<Row> = by_label(outcomes)
+            .into_iter()
+            .map(|(_, reps)| Row {
+                scheme: reps[0].metrics.str_of("scheme").to_string(),
+                pfc: reps[0]
+                    .metrics
+                    .get("pfc")
+                    .and_then(Json::as_bool)
+                    .expect("pfc flag in metrics"),
+                pause_rate_per_sec: mean_metric(&reps, &["pause_rate_per_sec"]),
+                p99_ood: mean_metric(&reps, &["background", "p99_ood"]),
+                avg_fct_ms: mean_metric(&reps, &["background", "avg_fct_ms"]),
+                p99_fct_ms: mean_metric(&reps, &["background", "p99_fct_ms"]),
+            })
+            .collect();
+        FigureReport {
+            sections: vec![(
+                "Fig. 3 — LB schemes with vs. without PFC (motivation dumbbell, background flows)"
+                    .to_string(),
+                render(&rows),
+            )],
+            rows: rows_json(&rows),
+            cdf_dumps: Vec::new(),
+        }
+    }
+}
+
+fn rows_json(rows: &[Row]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("scheme", Json::Str(r.scheme.clone())),
+                    ("pfc", Json::Bool(r.pfc)),
+                    ("pause_rate_per_sec", Json::F64(r.pause_rate_per_sec)),
+                    ("p99_ood", Json::F64(r.p99_ood)),
+                    ("avg_fct_ms", Json::F64(r.avg_fct_ms)),
+                    ("p99_fct_ms", Json::F64(r.p99_fct_ms)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 pub fn render(rows: &[Row]) -> String {

@@ -5,9 +5,11 @@
 //! (5–30 of 40) and the burst count (1–6), reporting the out-of-order
 //! packet ratio of the background flows under each vanilla scheme.
 
-use super::common::{run_variant, Variant};
-use super::fig3;
-use crate::{sweep::parallel_map, Scale};
+use super::common::{run_metrics, Variant};
+use super::{fig3, Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{by_label, mean_metric, Job, JobOutcome};
+use crate::Scale;
 use rlb_lb::Scheme;
 use rlb_metrics::{pct, Table};
 use rlb_net::scenario::motivation;
@@ -22,46 +24,110 @@ pub struct Row {
 pub const AFFECTED_PATHS: [u32; 6] = [5, 10, 15, 20, 25, 30];
 pub const BURSTS: [u32; 6] = [1, 2, 3, 4, 5, 6];
 
-pub fn run_affected_paths(scale: Scale) -> Vec<Row> {
-    let cases: Vec<(Scheme, u32)> = Scheme::PAPER_SET
-        .iter()
-        .flat_map(|&s| AFFECTED_PATHS.iter().map(move |&k| (s, k)))
-        .collect();
-    parallel_map(cases, |(scheme, k)| {
-        let mut mc = fig3::config(scale);
-        // Keep the congested traffic intense enough that even a 30-path
-        // fan-out can push every affected ingress over the PFC threshold
-        // (the paper's fc is a sustained 250 MB flow).
-        mc.n_burst_senders = 4;
-        mc.flows_per_burst = 60;
-        mc.bursts = 4;
-        mc.congested_flow_bytes = 60_000_000;
-        mc.affected_paths = k;
-        let row = run_variant(Variant::vanilla(scheme).label(), motivation(&mc, scheme, None));
-        Row {
-            scheme: row.label.clone(),
-            x: k,
-            ooo_ratio: row.background.ooo_ratio,
-        }
-    })
-}
+const PART_PATHS: &str = "affected_paths";
+const PART_BURSTS: &str = "bursts";
 
-pub fn run_bursts(scale: Scale) -> Vec<Row> {
-    let cases: Vec<(Scheme, u32)> = Scheme::PAPER_SET
-        .iter()
-        .flat_map(|&s| BURSTS.iter().map(move |&b| (s, b)))
-        .collect();
-    parallel_map(cases, |(scheme, b)| {
-        let mut mc = fig3::config(scale);
-        mc.n_burst_senders = 4;
-        mc.bursts = b;
-        let row = run_variant(Variant::vanilla(scheme).label(), motivation(&mc, scheme, None));
-        Row {
-            scheme: row.label.clone(),
-            x: b,
-            ooo_ratio: row.background.ooo_ratio,
+pub struct Fig4;
+
+impl Figure for Fig4 {
+    fn name(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn description(&self) -> &'static str {
+        "OOO packets vs. PFC-affected paths (a) and continuous bursts (b)"
+    }
+
+    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (part, xs) in [(PART_PATHS, AFFECTED_PATHS), (PART_BURSTS, BURSTS)] {
+            for &scheme in &Scheme::PAPER_SET {
+                for &x in &xs {
+                    for &offset in seeds {
+                        let mut mc = fig3::config(scale);
+                        mc.seed += offset;
+                        // Keep the congested traffic intense enough that even
+                        // a 30-path fan-out can push every affected ingress
+                        // over the PFC threshold (the paper's fc is a
+                        // sustained 250 MB flow).
+                        mc.n_burst_senders = 4;
+                        if part == PART_PATHS {
+                            mc.flows_per_burst = 60;
+                            mc.bursts = 4;
+                            mc.congested_flow_bytes = 60_000_000;
+                            mc.affected_paths = x;
+                        } else {
+                            mc.bursts = x;
+                        }
+                        let label = format!("{part} {} x={x}", scheme.name());
+                        let spec = format!("part={part}|scheme={scheme:?}|rlb=None|{mc:?}");
+                        let seed = mc.seed;
+                        jobs.push(Job {
+                            fig: "fig4",
+                            label,
+                            seed,
+                            spec,
+                            run: Box::new(move || {
+                                run_metrics(
+                                    Variant::vanilla(scheme).label(),
+                                    motivation(&mc, scheme, None),
+                                    vec![
+                                        ("part", Json::Str(part.to_string())),
+                                        ("scheme", Json::Str(scheme.name().to_string())),
+                                        ("x", Json::U64(x as u64)),
+                                    ],
+                                )
+                            }),
+                        });
+                    }
+                }
+            }
         }
-    })
+        jobs
+    }
+
+    fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport {
+        let mut sections = Vec::new();
+        let mut all_rows = Vec::new();
+        for (part, title) in [
+            (
+                PART_PATHS,
+                "Fig. 4(a) — out-of-order packets vs. number of affected paths",
+            ),
+            (
+                PART_BURSTS,
+                "Fig. 4(b) — out-of-order packets vs. number of continuous bursts",
+            ),
+        ] {
+            let part_outs: Vec<JobOutcome> = outcomes
+                .iter()
+                .filter(|o| o.metrics.str_of("part") == part)
+                .cloned()
+                .collect();
+            let rows: Vec<Row> = by_label(&part_outs)
+                .into_iter()
+                .map(|(_, reps)| Row {
+                    scheme: reps[0].metrics.str_of("scheme").to_string(),
+                    x: reps[0].metrics.num("x") as u32,
+                    ooo_ratio: mean_metric(&reps, &["background", "ooo_ratio"]),
+                })
+                .collect();
+            sections.push((title.to_string(), render(&rows, part)));
+            all_rows.extend(rows.iter().map(|r| {
+                Json::obj([
+                    ("part", Json::Str(part.to_string())),
+                    ("scheme", Json::Str(r.scheme.clone())),
+                    ("x", Json::U64(r.x as u64)),
+                    ("ooo_ratio", Json::F64(r.ooo_ratio)),
+                ])
+            }));
+        }
+        FigureReport {
+            sections,
+            rows: Json::Arr(all_rows),
+            cdf_dumps: Vec::new(),
+        }
+    }
 }
 
 pub fn render(rows: &[Row], x_name: &str) -> String {

@@ -1,8 +1,11 @@
 //! Fig. 6 — FCT CDF of every flow, each scheme vs. its RLB-enhanced
 //! version, symmetric leaf–spine, Web Search at 60% core load.
 
-use super::common::{pick, run_variant, RunRow, Variant};
-use crate::{sweep::parallel_map, Scale};
+use super::common::{pick, Variant};
+use super::{Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{by_label, mean_metric, Job, JobOutcome};
+use crate::Scale;
 use rlb_engine::SimTime;
 use rlb_metrics::{ms, Table};
 use rlb_net::scenario::{steady_state, SteadyStateConfig};
@@ -29,20 +32,109 @@ pub fn config(scale: Scale) -> SteadyStateConfig {
     }
 }
 
-pub fn run(scale: Scale) -> Vec<Row> {
-    let sc = config(scale);
-    parallel_map(Variant::all_eight(), |v| {
-        let row: RunRow = run_variant(v.label(), steady_state(&sc, v.scheme, v.rlb.clone()));
-        Row {
-            label: row.label.clone(),
-            avg_fct_ms: row.all.avg_fct_ms,
-            p50_fct_ms: row.all.p50_fct_ms,
-            p99_fct_ms: row.all.p99_fct_ms,
-            ooo_ratio: row.all.ooo_ratio,
-            pause_frames: row.counters.pause_frames,
-            cdf: row.fct_cdf,
+pub struct Fig6;
+
+impl Figure for Fig6 {
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn description(&self) -> &'static str {
+        "FCT under the symmetric topology, Web Search @ 60% load (8 variants)"
+    }
+
+    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for v in Variant::all_eight() {
+            for &offset in seeds {
+                let mut sc = config(scale);
+                sc.seed += offset;
+                let label = v.label();
+                let spec = format!("scheme={:?}|rlb={:?}|{sc:?}", v.scheme, v.rlb);
+                let seed = sc.seed;
+                let v = v.clone();
+                jobs.push(Job {
+                    fig: "fig6",
+                    label,
+                    seed,
+                    spec,
+                    run: Box::new(move || {
+                        super::common::run_metrics(
+                            v.label(),
+                            steady_state(&sc, v.scheme, v.rlb.clone()),
+                            Vec::new(),
+                        )
+                    }),
+                });
+            }
         }
-    })
+        jobs
+    }
+
+    fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport {
+        let rows: Vec<Row> = by_label(outcomes)
+            .into_iter()
+            .map(|(label, reps)| Row {
+                label: label.to_string(),
+                avg_fct_ms: mean_metric(&reps, &["all", "avg_fct_ms"]),
+                p50_fct_ms: mean_metric(&reps, &["all", "p50_fct_ms"]),
+                p99_fct_ms: mean_metric(&reps, &["all", "p99_fct_ms"]),
+                ooo_ratio: mean_metric(&reps, &["all", "ooo_ratio"]),
+                pause_frames: mean_metric(&reps, &["counters", "pause_frames"]).round() as u64,
+                // The CDF is a distribution, not a scalar: report the first
+                // replicate's curve rather than a point-wise mean.
+                cdf: reps[0]
+                    .metrics
+                    .get("fct_cdf")
+                    .and_then(Json::as_arr)
+                    .map(|pairs| {
+                        pairs
+                            .iter()
+                            .filter_map(|p| {
+                                let p = p.as_arr()?;
+                                Some((p.first()?.as_f64()?, p.get(1)?.as_f64()?))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            })
+            .collect();
+        let cdf_dumps = rows.iter().map(render_cdf).collect();
+        FigureReport {
+            sections: vec![(
+                "Fig. 6 — FCT under symmetric topology, Web Search @ 60% load".to_string(),
+                render(&rows),
+            )],
+            rows: rows_json(&rows),
+            cdf_dumps,
+        }
+    }
+}
+
+fn rows_json(rows: &[Row]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("variant", Json::Str(r.label.clone())),
+                    ("avg_fct_ms", Json::F64(r.avg_fct_ms)),
+                    ("p50_fct_ms", Json::F64(r.p50_fct_ms)),
+                    ("p99_fct_ms", Json::F64(r.p99_fct_ms)),
+                    ("ooo_ratio", Json::F64(r.ooo_ratio)),
+                    ("pause_frames", Json::U64(r.pause_frames)),
+                    (
+                        "fct_cdf",
+                        Json::Arr(
+                            r.cdf
+                                .iter()
+                                .map(|&(x, p)| Json::Arr(vec![Json::F64(x), Json::F64(p)]))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 pub fn render(rows: &[Row]) -> String {

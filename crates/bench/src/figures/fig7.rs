@@ -2,8 +2,11 @@
 //! (20% of leaf–spine links degraded 40→10 Gbps), DRILL and Hermes with
 //! and without RLB, across all four workloads.
 
-use super::common::{pick, run_variant, Variant};
-use crate::{sweep::parallel_map, Scale};
+use super::common::{pick, run_metrics, workload_by_name, Variant};
+use super::{Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{by_label, mean_metric, Job, JobOutcome};
+use crate::Scale;
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
 use rlb_metrics::{ms, Table};
@@ -30,33 +33,106 @@ pub fn variants() -> Vec<Variant> {
     ]
 }
 
-pub fn run(scale: Scale, workload: Workload) -> Vec<Row> {
-    let base = pick(scale, TopoConfig::default(), TopoConfig::paper_scale());
-    let topo = asymmetric_topo(&base, 0.2, 42);
-    let cases: Vec<(Variant, f64)> = variants()
-        .into_iter()
-        .flat_map(|v| LOADS.iter().map(move |&l| (v.clone(), l)))
-        .collect();
-    parallel_map(cases, |(v, load)| {
-        let sc = SteadyStateConfig {
-            topo: topo.clone(),
-            workload,
-            load,
-            horizon: SimTime::from_ms(pick(scale, 8, 20)),
-            seed: 13,
-        };
-        let row = run_variant(v.label(), steady_state(&sc, v.scheme, v.rlb.clone()));
-        Row {
-            workload,
-            label: row.label.clone(),
-            load,
-            avg_fct_ms: row.all.avg_fct_ms,
-            p99_fct_ms: row.all.p99_fct_ms,
+pub struct Fig7;
+
+impl Figure for Fig7 {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn description(&self) -> &'static str {
+        "AFCT vs. load, asymmetric topology (20% links at 10G), 4 workloads"
+    }
+
+    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+        let base = pick(scale, TopoConfig::default(), TopoConfig::paper_scale());
+        let topo = asymmetric_topo(&base, 0.2, 42);
+        let mut jobs = Vec::new();
+        for workload in Workload::ALL {
+            for v in variants() {
+                for &load in &LOADS {
+                    for &offset in seeds {
+                        let sc = SteadyStateConfig {
+                            topo: topo.clone(),
+                            workload,
+                            load,
+                            horizon: SimTime::from_ms(pick(scale, 8, 20)),
+                            seed: 13 + offset,
+                        };
+                        let label =
+                            format!("{} {} load={load:.1}", workload.name(), v.label());
+                        let spec = format!("scheme={:?}|rlb={:?}|{sc:?}", v.scheme, v.rlb);
+                        let seed = sc.seed;
+                        let v = v.clone();
+                        jobs.push(Job {
+                            fig: "fig7",
+                            label,
+                            seed,
+                            spec,
+                            run: Box::new(move || {
+                                run_metrics(
+                                    v.label(),
+                                    steady_state(&sc, v.scheme, v.rlb.clone()),
+                                    vec![
+                                        ("workload", Json::Str(workload.name().to_string())),
+                                        ("load", Json::F64(load)),
+                                    ],
+                                )
+                            }),
+                        });
+                    }
+                }
+            }
         }
-    })
+        jobs
+    }
+
+    fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport {
+        let rows: Vec<Row> = by_label(outcomes)
+            .into_iter()
+            .map(|(_, reps)| Row {
+                workload: workload_by_name(reps[0].metrics.str_of("workload")),
+                label: reps[0].metrics.str_of("variant").to_string(),
+                load: reps[0].metrics.num("load"),
+                avg_fct_ms: mean_metric(&reps, &["all", "avg_fct_ms"]),
+                p99_fct_ms: mean_metric(&reps, &["all", "p99_fct_ms"]),
+            })
+            .collect();
+        let mut sections = Vec::new();
+        for workload in Workload::ALL {
+            let wl_rows: Vec<&Row> = rows.iter().filter(|r| r.workload == workload).collect();
+            if wl_rows.is_empty() {
+                continue;
+            }
+            sections.push((
+                format!(
+                    "Fig. 7 — AFCT vs. load, asymmetric topology ({})",
+                    workload.name()
+                ),
+                render_refs(&wl_rows),
+            ));
+        }
+        FigureReport {
+            sections,
+            rows: Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("workload", Json::Str(r.workload.name().to_string())),
+                            ("variant", Json::Str(r.label.clone())),
+                            ("load", Json::F64(r.load)),
+                            ("avg_fct_ms", Json::F64(r.avg_fct_ms)),
+                            ("p99_fct_ms", Json::F64(r.p99_fct_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            cdf_dumps: Vec::new(),
+        }
+    }
 }
 
-pub fn render(rows: &[Row]) -> String {
+fn render_refs(rows: &[&Row]) -> String {
     let mut t = Table::new(vec!["workload", "scheme", "load", "avg_fct_ms", "p99_fct_ms"]);
     for r in rows {
         t.row(vec![
@@ -68,4 +144,8 @@ pub fn render(rows: &[Row]) -> String {
         ]);
     }
     t.render()
+}
+
+pub fn render(rows: &[Row]) -> String {
+    render_refs(&rows.iter().collect::<Vec<_>>())
 }

@@ -2,8 +2,11 @@
 //! varying the incast degree (10–25) and total response size (4–10 MB),
 //! for all eight scheme variants.
 
-use super::common::{pick, run_variant, Variant};
-use crate::{sweep::parallel_map, Scale};
+use super::common::{pick, run_metrics, Variant};
+use super::{Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{by_label, mean_metric, Job, JobOutcome};
+use crate::Scale;
 use rlb_engine::SimDuration;
 use rlb_metrics::{ms, pct, Table};
 use rlb_net::scenario::{incast_scenario, IncastScenarioConfig};
@@ -18,6 +21,9 @@ pub struct Row {
 
 pub const DEGREES: [u32; 4] = [10, 15, 20, 25];
 pub const RESPONSE_MB: [u64; 4] = [4, 6, 8, 10];
+
+const PART_DEGREE: &str = "degree";
+const PART_RESPONSE: &str = "response_MB";
 
 fn base_config(scale: Scale) -> IncastScenarioConfig {
     // The Quick fabric needs enough other-leaf hosts for the largest
@@ -37,40 +43,108 @@ fn base_config(scale: Scale) -> IncastScenarioConfig {
     }
 }
 
-pub fn run_degrees(scale: Scale) -> Vec<Row> {
-    let cases: Vec<(Variant, u32)> = Variant::all_eight()
-        .into_iter()
-        .flat_map(|v| DEGREES.iter().map(move |&d| (v.clone(), d)))
-        .collect();
-    parallel_map(cases, |(v, degree)| {
-        let mut ic = base_config(scale);
-        ic.degree = degree;
-        let row = run_variant(v.label(), incast_scenario(&ic, v.scheme, v.rlb.clone()));
-        Row {
-            label: row.label.clone(),
-            x: degree as u64,
-            ooo_ratio: row.all.ooo_ratio,
-            incast_completion_ms: row.mean_group_completion_ms,
-        }
-    })
-}
+pub struct Fig8;
 
-pub fn run_response_sizes(scale: Scale) -> Vec<Row> {
-    let cases: Vec<(Variant, u64)> = Variant::all_eight()
-        .into_iter()
-        .flat_map(|v| RESPONSE_MB.iter().map(move |&m| (v.clone(), m)))
-        .collect();
-    parallel_map(cases, |(v, mb)| {
-        let mut ic = base_config(scale);
-        ic.total_response_bytes = mb * 1_000_000;
-        let row = run_variant(v.label(), incast_scenario(&ic, v.scheme, v.rlb.clone()));
-        Row {
-            label: row.label.clone(),
-            x: mb,
-            ooo_ratio: row.all.ooo_ratio,
-            incast_completion_ms: row.mean_group_completion_ms,
+impl Figure for Fig8 {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn description(&self) -> &'static str {
+        "Incast OOO ratio and completion time vs. degree (a,c) and response size (b,d)"
+    }
+
+    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for (part, xs) in [
+            (PART_DEGREE, DEGREES.map(|d| d as u64)),
+            (PART_RESPONSE, RESPONSE_MB),
+        ] {
+            for v in Variant::all_eight() {
+                for &x in &xs {
+                    for &offset in seeds {
+                        let mut ic = base_config(scale);
+                        ic.seed += offset;
+                        if part == PART_DEGREE {
+                            ic.degree = x as u32;
+                        } else {
+                            ic.total_response_bytes = x * 1_000_000;
+                        }
+                        let label = format!("{part} {} x={x}", v.label());
+                        let spec = format!("part={part}|scheme={:?}|rlb={:?}|{ic:?}", v.scheme, v.rlb);
+                        let seed = ic.seed;
+                        let v = v.clone();
+                        jobs.push(Job {
+                            fig: "fig8",
+                            label,
+                            seed,
+                            spec,
+                            run: Box::new(move || {
+                                run_metrics(
+                                    v.label(),
+                                    incast_scenario(&ic, v.scheme, v.rlb.clone()),
+                                    vec![
+                                        ("part", Json::Str(part.to_string())),
+                                        ("x", Json::U64(x)),
+                                    ],
+                                )
+                            }),
+                        });
+                    }
+                }
+            }
         }
-    })
+        jobs
+    }
+
+    fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport {
+        let mut sections = Vec::new();
+        let mut all_rows = Vec::new();
+        for (part, title) in [
+            (
+                PART_DEGREE,
+                "Fig. 8(a,c) — varying incast degree (total response 4MB)",
+            ),
+            (
+                PART_RESPONSE,
+                "Fig. 8(b,d) — varying total response size (degree 15)",
+            ),
+        ] {
+            let part_outs: Vec<JobOutcome> = outcomes
+                .iter()
+                .filter(|o| o.metrics.str_of("part") == part)
+                .cloned()
+                .collect();
+            let rows: Vec<Row> = by_label(&part_outs)
+                .into_iter()
+                .map(|(_, reps)| Row {
+                    label: reps[0].metrics.str_of("variant").to_string(),
+                    x: reps[0]
+                        .metrics
+                        .get("x")
+                        .and_then(Json::as_u64)
+                        .expect("x in metrics"),
+                    ooo_ratio: mean_metric(&reps, &["all", "ooo_ratio"]),
+                    incast_completion_ms: mean_metric(&reps, &["mean_group_completion_ms"]),
+                })
+                .collect();
+            sections.push((title.to_string(), render(&rows, part)));
+            all_rows.extend(rows.iter().map(|r| {
+                Json::obj([
+                    ("part", Json::Str(part.to_string())),
+                    ("variant", Json::Str(r.label.clone())),
+                    ("x", Json::U64(r.x)),
+                    ("ooo_ratio", Json::F64(r.ooo_ratio)),
+                    ("incast_completion_ms", Json::F64(r.incast_completion_ms)),
+                ])
+            }));
+        }
+        FigureReport {
+            sections,
+            rows: Json::Arr(all_rows),
+            cdf_dumps: Vec::new(),
+        }
+    }
 }
 
 pub fn render(rows: &[Row], x_name: &str) -> String {

@@ -2,8 +2,11 @@
 //! recirculation enabled vs. disabled ("RLB w/o Recir."), 99th-percentile
 //! FCT at 40/60/80 % load, Web Server and Data Mining workloads.
 
-use super::common::{pick, run_variant};
-use crate::{sweep::parallel_map, Scale};
+use super::common::{pick, run_metrics, workload_by_name};
+use super::{Figure, FigureReport};
+use crate::json::Json;
+use crate::runner::{by_label, mean_metric, Job, JobOutcome};
+use crate::Scale;
 use rlb_core::RlbConfig;
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
@@ -23,43 +26,107 @@ pub struct Row {
 pub const LOADS: [f64; 3] = [0.4, 0.6, 0.8];
 pub const WORKLOADS: [Workload; 2] = [Workload::WebServer, Workload::DataMining];
 
-pub fn run(scale: Scale) -> Vec<Row> {
-    let mut cases = Vec::new();
-    for workload in WORKLOADS {
-        for scheme in [Scheme::Presto, Scheme::Hermes] {
-            for recirc in [false, true] {
-                for &load in &LOADS {
-                    cases.push((workload, scheme, recirc, load));
+pub struct Fig9;
+
+impl Figure for Fig9 {
+    fn name(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn description(&self) -> &'static str {
+        "Recirculation ablation: RLB vs. RLB w/o Recir., p99 FCT by load"
+    }
+
+    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for workload in WORKLOADS {
+            for scheme in [Scheme::Presto, Scheme::Hermes] {
+                for recirc in [false, true] {
+                    for &load in &LOADS {
+                        for &offset in seeds {
+                            let rlb = RlbConfig {
+                                enable_recirculation: recirc,
+                                ..RlbConfig::default()
+                            };
+                            let variant_label = format!(
+                                "{}+RLB{}",
+                                scheme.name(),
+                                if recirc { "" } else { " w/o Recir." }
+                            );
+                            let sc = SteadyStateConfig {
+                                topo: pick(scale, TopoConfig::default(), TopoConfig::paper_scale()),
+                                workload,
+                                load,
+                                horizon: SimTime::from_ms(pick(scale, 16, 30)),
+                                seed: 23 + offset,
+                            };
+                            let label = format!(
+                                "{} {variant_label} load={load:.1}",
+                                workload.name()
+                            );
+                            let spec =
+                                format!("scheme={scheme:?}|rlb={rlb:?}|{sc:?}");
+                            let seed = sc.seed;
+                            jobs.push(Job {
+                                fig: "fig9",
+                                label,
+                                seed,
+                                spec,
+                                run: Box::new(move || {
+                                    run_metrics(
+                                        variant_label.clone(),
+                                        steady_state(&sc, scheme, Some(rlb.clone())),
+                                        vec![
+                                            (
+                                                "workload",
+                                                Json::Str(workload.name().to_string()),
+                                            ),
+                                            ("load", Json::F64(load)),
+                                        ],
+                                    )
+                                }),
+                            });
+                        }
+                    }
                 }
             }
         }
+        jobs
     }
-    parallel_map(cases, |(workload, scheme, recirc, load)| {
-        let rlb = RlbConfig {
-            enable_recirculation: recirc,
-            ..RlbConfig::default()
-        };
-        let label = format!(
-            "{}+RLB{}",
-            scheme.name(),
-            if recirc { "" } else { " w/o Recir." }
-        );
-        let sc = SteadyStateConfig {
-            topo: pick(scale, TopoConfig::default(), TopoConfig::paper_scale()),
-            workload,
-            load,
-            horizon: SimTime::from_ms(pick(scale, 16, 30)),
-            seed: 23,
-        };
-        let row = run_variant(label, steady_state(&sc, scheme, Some(rlb)));
-        Row {
-            workload,
-            label: row.label.clone(),
-            load,
-            p99_fct_ms: row.all.p99_fct_ms,
-            recirculations: row.counters.recirculations,
+
+    fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport {
+        let rows: Vec<Row> = by_label(outcomes)
+            .into_iter()
+            .map(|(_, reps)| Row {
+                workload: workload_by_name(reps[0].metrics.str_of("workload")),
+                label: reps[0].metrics.str_of("variant").to_string(),
+                load: reps[0].metrics.num("load"),
+                p99_fct_ms: mean_metric(&reps, &["all", "p99_fct_ms"]),
+                recirculations: mean_metric(&reps, &["counters", "recirculations"]).round()
+                    as u64,
+            })
+            .collect();
+        FigureReport {
+            sections: vec![(
+                "Fig. 9 — effectiveness of packet recirculation (99p FCT)".to_string(),
+                render(&rows),
+            )],
+            rows: Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("workload", Json::Str(r.workload.name().to_string())),
+                            ("variant", Json::Str(r.label.clone())),
+                            ("load", Json::F64(r.load)),
+                            ("p99_fct_ms", Json::F64(r.p99_fct_ms)),
+                            ("recirculations", Json::U64(r.recirculations)),
+                        ])
+                    })
+                    .collect(),
+            ),
+            cdf_dumps: Vec::new(),
         }
-    })
+    }
 }
 
 pub fn render(rows: &[Row]) -> String {

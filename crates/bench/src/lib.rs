@@ -1,12 +1,24 @@
 //! # rlb-bench — the experiment harness
 //!
-//! One module per paper figure. Each `figN` module exposes a `run(scale)`
-//! function that regenerates the figure's rows/series and returns them as
-//! structured data; the `src/bin/figN.rs` binaries print them as tables.
+//! Every experiment point is a [`runner::Job`]: one (figure, variant,
+//! sweep point, seed) tuple with a stable content hash over its full
+//! serialized config. The [`figures::Figure`] trait expands each paper
+//! figure into its job set and reduces the finished outcomes back into
+//! tables and JSON rows; [`runner::run_jobs`] executes a job set in
+//! parallel behind a content-addressed on-disk cache
+//! (`target/bench-cache/<hash>.json`) so warm re-runs skip completed
+//! points; [`drive::drive`] ties it all together behind the shared
+//! [`cli::BenchCli`] flags and writes the schema-versioned
+//! `BENCH_<fig>_<scale>.json` report.
+//!
 //! `Scale::Quick` shrinks the fabric and horizons so every figure runs in
 //! seconds; `Scale::Paper` uses the paper's topology (minutes per point).
 
+pub mod cli;
+pub mod drive;
 pub mod figures;
+pub mod json;
+pub mod runner;
 pub mod sweep;
 
 pub use figures::*;
@@ -21,11 +33,11 @@ pub enum Scale {
 }
 
 impl Scale {
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--paper-scale") {
-            Scale::Paper
-        } else {
-            Scale::Quick
+    /// Lower-case name used in report files and JSON (`quick` / `paper`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
         }
     }
 }

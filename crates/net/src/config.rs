@@ -157,7 +157,7 @@ impl Default for SwitchConfig {
 }
 
 /// Host / NIC transport parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct TransportConfig {
     pub dcqcn: DcqcnConfig,
     /// Reliable-delivery scheme at the NICs (go-back-N is the paper's
@@ -187,7 +187,7 @@ impl Default for TransportConfig {
 }
 
 /// Everything one simulation run needs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SimConfig {
     pub topo: TopoConfig,
     pub switch: SwitchConfig,

@@ -12,9 +12,10 @@ use rlb_transport::{
     CnpGenerator, DcqcnConfig, DcqcnRate, GbnReceiver, GbnSender, IrnReceiver, IrnSender,
 };
 use rlb_workloads::FlowSpec;
+use serde::Serialize;
 
 /// Which reliable-delivery scheme the NICs run (see `rlb-transport`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum TransportMode {
     /// RoCEv2 go-back-N — the paper's lossless-DCN baseline (§2.1.2).
     GoBackN,

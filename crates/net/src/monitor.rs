@@ -6,7 +6,7 @@ use rlb_engine::SimDuration;
 use serde::Serialize;
 
 /// Enables periodic sampling during a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct MonitorConfig {
     /// Sampling period. Each tick costs one event plus a scan over the
     /// switches, so keep it ≥ a few µs for long runs.

@@ -10,12 +10,13 @@ use rlb_workloads::{
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
+use serde::Serialize;
 
 /// The Fig. 2 motivation scenario: a dumbbell of two leaves joined by many
 /// parallel spines. Background flows H1..Hn → R1..Rn cross the core, burst
 /// senders Hb (on the receiving leaf) plus a long congested flow fc slam a
 /// single victim receiver Rc, triggering PFC on the spine paths.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct MotivationConfig {
     /// Parallel spine paths between the two leaves (paper: 40).
     pub n_paths: u32,
@@ -182,6 +183,7 @@ pub fn motivation(mc: &MotivationConfig, scheme: Scheme, rlb: Option<RlbConfig>)
 
 /// §4.1/§4.2 steady-state scenario: Poisson arrivals of a realistic
 /// workload between random inter-leaf host pairs at a target core load.
+#[derive(Debug, Clone, Serialize)]
 pub struct SteadyStateConfig {
     pub topo: TopoConfig,
     pub workload: Workload,
@@ -240,6 +242,7 @@ pub fn asymmetric_topo(base: &TopoConfig, fraction: f64, seed: u64) -> TopoConfi
 }
 
 /// §4.3 incast scenario, optionally over light background traffic.
+#[derive(Debug, Clone, Serialize)]
 pub struct IncastScenarioConfig {
     pub topo: TopoConfig,
     pub degree: u32,
