@@ -3,8 +3,8 @@
 //! sampling and the metrics kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use rlb_core::{algorithm1, PfcPredictor, RlbConfig};
-use rlb_engine::{substream, EventQueue, SimTime};
+use rlb_core::{algorithm1, PfcPredictor, Prediction, RlbConfig};
+use rlb_engine::{substream, EventQueue, HeapEventQueue, SimTime};
 use rlb_lb::{build, Ctx, PathInfo, Scheme};
 use rlb_workloads::SizeCdf;
 
@@ -24,6 +24,104 @@ fn bench_event_queue(c: &mut Criterion) {
     });
 }
 
+/// Unified view over the wheel-backed queue and the heap reference so one
+/// workload driver races both implementations head-to-head.
+trait FutureList {
+    fn schedule(&mut self, at: SimTime, ev: u64);
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+impl FutureList for EventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, ev: u64) {
+        EventQueue::schedule(self, at, ev)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl FutureList for HeapEventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, ev: u64) {
+        HeapEventQueue::schedule(self, at, ev)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        HeapEventQueue::pop(self)
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Steady-state hold-model: 16k pending events with uniform-random future
+/// deltas (up to 50 µs); each pop reschedules the popped event.
+fn run_uniform<Q: FutureList>(q: &mut Q, pops: u64) -> u64 {
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    for i in 0..16_384u64 {
+        q.schedule(SimTime(1 + xorshift(&mut s) % 50_000_000), i);
+    }
+    let mut acc = 0u64;
+    for _ in 0..pops {
+        let (t, e) = q.pop().expect("steady-state queue never drains");
+        acc = acc.wrapping_add(e);
+        q.schedule(SimTime(t.as_ps() + 1 + xorshift(&mut s) % 50_000_000), e);
+    }
+    acc
+}
+
+const TICK: u64 = u64::MAX;
+const TIE_BASE: u64 = 1 << 32;
+
+/// The profile a loaded fig3 fabric produces: a large population of packet
+/// events with short serialization-scale deltas (≤ 3 µs) interleaved with
+/// a 2 µs periodic tick that lands a burst of 1000 same-timestamp events —
+/// the shape of the coalesced predictor/alpha/increase ticks.
+fn run_periodic<Q: FutureList>(q: &mut Q, pops: u64) -> u64 {
+    let mut s = 0xd1b5_4a32_d192_ed03u64;
+    q.schedule(SimTime(2_000_000), TICK);
+    for i in 0..32_768u64 {
+        q.schedule(SimTime(200 + xorshift(&mut s) % 3_000_000), i);
+    }
+    let mut acc = 0u64;
+    for _ in 0..pops {
+        let (t, e) = q.pop().expect("tick keeps the queue non-empty");
+        acc = acc.wrapping_add(e);
+        if e == TICK {
+            q.schedule(SimTime(t.as_ps() + 2_000_000), TICK);
+            // Same-instant burst half a tick period ahead — the shape of a
+            // coalesced incast kick or CNM fan-in; drains FIFO.
+            let burst_at = SimTime(t.as_ps() + 1_000_000);
+            for k in 0..1_000u64 {
+                q.schedule(burst_at, TIE_BASE + k);
+            }
+        } else if e < TIE_BASE {
+            q.schedule(SimTime(t.as_ps() + 200 + xorshift(&mut s) % 3_000_000), e);
+        }
+    }
+    acc
+}
+
+fn bench_queue_head_to_head(c: &mut Criterion) {
+    const POPS: u64 = 50_000;
+    let mut group = c.benchmark_group("engine/queue_head_to_head");
+    group.bench_function("uniform/wheel", |b| {
+        b.iter(|| black_box(run_uniform(&mut EventQueue::new(), POPS)))
+    });
+    group.bench_function("uniform/heap", |b| {
+        b.iter(|| black_box(run_uniform(&mut HeapEventQueue::new(), POPS)))
+    });
+    group.bench_function("periodic/wheel", |b| {
+        b.iter(|| black_box(run_periodic(&mut EventQueue::new(), POPS)))
+    });
+    group.bench_function("periodic/heap", |b| {
+        b.iter(|| black_box(run_periodic(&mut HeapEventQueue::new(), POPS)))
+    });
+    group.finish();
+}
+
 fn bench_predictor(c: &mut Criterion) {
     c.bench_function("core/pfc_predictor_sample", |b| {
         let mut p = PfcPredictor::new(64_000, 256_000, 4_000_000);
@@ -33,6 +131,25 @@ fn bench_predictor(c: &mut Criterion) {
             t += 2_000_000;
             q = (q + 13_000) % 300_000;
             black_box(p.on_sample(t, q))
+        })
+    });
+    // One coalesced per-switch PredictorTick: sample all 64 ports in a
+    // single dispatch, the post-refactor hot shape (vs 64 separate events).
+    c.bench_function("core/predictor_tick_64ports", |b| {
+        let mut ports: Vec<PfcPredictor> = (0..64)
+            .map(|_| PfcPredictor::new(64_000, 256_000, 4_000_000))
+            .collect();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2_000_000;
+            let mut warns = 0u32;
+            for (i, p) in ports.iter_mut().enumerate() {
+                let q = (t / 500 + i as u64 * 7_000) % 300_000;
+                if p.on_sample(t, q) == Prediction::Warn {
+                    warns += 1;
+                }
+            }
+            black_box(warns)
         })
     });
 }
@@ -132,8 +249,8 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_event_queue, bench_predictor, bench_algorithm1,
-              bench_lb_selection, bench_workload_sampling, bench_gbn,
-              bench_percentile
+    targets = bench_event_queue, bench_queue_head_to_head, bench_predictor,
+              bench_algorithm1, bench_lb_selection, bench_workload_sampling,
+              bench_gbn, bench_percentile
 }
 criterion_main!(benches);

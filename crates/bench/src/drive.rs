@@ -91,18 +91,52 @@ pub fn drive(
 }
 
 fn point_json(o: &JobOutcome, stable: bool) -> Json {
+    let mut metrics = o.metrics.clone();
+    if stable {
+        // The per-job perf block is wall-clock telemetry; two byte-identical
+        // stable reports must not differ because one machine was slower.
+        metrics.remove("perf");
+    }
     let mut p = Json::obj([
         ("fig", Json::Str(o.fig.to_string())),
         ("label", Json::Str(o.label.clone())),
         ("seed", Json::U64(o.seed)),
         ("key", Json::Str(o.key_hex.clone())),
-        ("metrics", o.metrics.clone()),
+        ("metrics", metrics),
     ]);
     if !stable {
         p.set("wall_ms", Json::F64(o.wall_ms));
         p.set("cached", Json::Bool(o.cached));
     }
     p
+}
+
+/// Aggregate the per-job `perf` blocks into the report-level summary:
+/// total events dispatched, total in-simulation wall time, and the batch
+/// events/sec rate. Cached jobs contribute the numbers recorded when they
+/// originally executed, so the rate describes simulator speed rather than
+/// cache luck; jobs_executed / jobs_cached disambiguate.
+fn perf_aggregate(summary: &RunSummary) -> Json {
+    let mut events_total: u64 = 0;
+    let mut sim_wall_ms: f64 = 0.0;
+    for o in &summary.outcomes {
+        if let Some(p) = o.metrics.get("perf") {
+            events_total += p.get("events_processed").and_then(Json::as_u64).unwrap_or(0);
+            sim_wall_ms += p.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        }
+    }
+    let rate = if sim_wall_ms > 0.0 {
+        events_total as f64 / (sim_wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("events_processed_total", Json::U64(events_total)),
+        ("sim_wall_ms_total", Json::F64(sim_wall_ms)),
+        ("events_per_sec", Json::F64(rate)),
+        ("jobs_executed", Json::U64(summary.executed as u64)),
+        ("jobs_cached", Json::U64(summary.cache_hits as u64)),
+    ])
 }
 
 /// The schema-versioned report object. With `--stable-json`, wall-clock
@@ -161,6 +195,7 @@ pub fn build_report(
                 ("total_wall_ms", Json::F64(summary.total_wall_ms)),
             ]),
         );
+        out.set("perf", perf_aggregate(summary));
     }
     out
 }
@@ -207,7 +242,17 @@ mod tests {
             label: "x".into(),
             seed: 1,
             key_hex: "00".into(),
-            metrics: Json::obj([("m", Json::U64(1))]),
+            metrics: Json::obj([
+                ("m", Json::U64(1)),
+                (
+                    "perf",
+                    Json::obj([
+                        ("events_processed", Json::U64(5000)),
+                        ("wall_ms", Json::F64(250.0)),
+                        ("events_per_sec", Json::F64(20_000.0)),
+                    ]),
+                ),
+            ]),
             wall_ms: 12.0,
             cached: true,
         };
@@ -220,14 +265,29 @@ mod tests {
         let mut cli = BenchCli::default();
         let full = build_report(&cli, &[], &summary);
         assert!(full.get("timing").is_some());
-        assert!(full.path(&["points"]).unwrap().as_arr().unwrap()[0]
-            .get("wall_ms")
-            .is_some());
+        let p = &full.path(&["points"]).unwrap().as_arr().unwrap()[0];
+        assert!(p.get("wall_ms").is_some());
+        assert!(p.path(&["metrics", "perf", "events_per_sec"]).is_some());
+        // Aggregate: 5000 events over 250 ms = 20k events/sec.
+        assert_eq!(
+            full.path(&["perf", "events_processed_total"])
+                .and_then(Json::as_u64),
+            Some(5000)
+        );
+        let rate = full
+            .path(&["perf", "events_per_sec"])
+            .and_then(Json::as_f64)
+            .expect("aggregate rate");
+        assert!((rate - 20_000.0).abs() < 1e-9, "rate={rate}");
+
         cli.stable_json = true;
         let stable = build_report(&cli, &[], &summary);
         assert!(stable.get("timing").is_none());
+        assert!(stable.get("perf").is_none());
         let p = &stable.path(&["points"]).unwrap().as_arr().unwrap()[0];
         assert!(p.get("wall_ms").is_none() && p.get("cached").is_none());
+        assert!(p.path(&["metrics", "perf"]).is_none());
+        assert!(p.path(&["metrics", "m"]).is_some());
         assert_eq!(
             stable.get("schema_version").and_then(Json::as_u64),
             Some(CACHE_SCHEMA_VERSION as u64)

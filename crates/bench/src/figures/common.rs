@@ -58,6 +58,13 @@ pub struct RunRow {
     pub mean_group_completion_ms: f64,
     /// FCT CDF over all completed flows, downsampled.
     pub fct_cdf: Vec<(f64, f64)>,
+    /// Events dispatched by the engine during this run.
+    pub events_processed: u64,
+    /// Wall-clock cost of the run, ms (measurement only — never feeds back
+    /// into the simulation, and `--stable-json` strips it from reports).
+    pub wall_ms: f64,
+    /// Engine throughput, events per wall-clock second.
+    pub events_per_sec: f64,
 }
 
 pub fn reduce(label: String, res: RunResult) -> RunRow {
@@ -88,6 +95,9 @@ pub fn reduce(label: String, res: RunResult) -> RunRow {
         sim_seconds: res.end_time.as_secs_f64(),
         mean_group_completion_ms: mean_group,
         fct_cdf: cdf,
+        events_processed: res.events_processed,
+        wall_ms: res.perf.wall_ms,
+        events_per_sec: res.perf.events_per_sec,
     }
 }
 
@@ -185,6 +195,17 @@ pub fn run_metrics(label: String, sc: Scenario, extras: Vec<(&'static str, Json)
                 .map(|&(x, p)| Json::Arr(vec![Json::F64(x), Json::F64(p)]))
                 .collect(),
         ),
+    );
+    // Wall-clock telemetry: `drive::point_json` strips this whole block
+    // under `--stable-json` (events_processed alone is deterministic, but
+    // the block is removed as a unit to keep the stable schema minimal).
+    m.set(
+        "perf",
+        Json::obj([
+            ("events_processed", Json::U64(row.events_processed)),
+            ("wall_ms", Json::F64(row.wall_ms)),
+            ("events_per_sec", Json::F64(row.events_per_sec)),
+        ]),
     );
     m
 }

@@ -61,6 +61,17 @@ impl Json {
         }
     }
 
+    /// Remove a member from an object, returning it. Used by the report
+    /// writer to strip wall-clock blocks under `--stable-json`.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        if let Json::Obj(m) = self {
+            if let Some(i) = m.iter().position(|(k, _)| k == key) {
+                return Some(m.remove(i).1);
+            }
+        }
+        None
+    }
+
     /// Numeric view: `U64` and `F64` coerce, `Null` reads as NaN (the
     /// writer turns NaN into `null`, so this inverts it).
     pub fn as_f64(&self) -> Option<f64> {
@@ -480,6 +491,9 @@ mod tests {
         m.set("k", Json::U64(1));
         m.set("k", Json::U64(2));
         assert_eq!(m.get("k").and_then(Json::as_u64), Some(2));
+        assert_eq!(m.remove("k"), Some(Json::U64(2)));
+        assert_eq!(m.remove("k"), None);
+        assert!(m.get("k").is_none());
     }
 
     #[test]

@@ -36,8 +36,9 @@ use std::time::Instant;
 
 /// Bumped whenever the job metrics layout or key derivation changes;
 /// reports embed it as `schema_version` and cache entries refuse to load
-/// across versions.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// across versions. v2: metrics gained the per-job `perf` block
+/// (events_processed / wall_ms / events_per_sec).
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit — small, dependency-free, stable across platforms.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {

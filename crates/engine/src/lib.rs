@@ -5,7 +5,9 @@
 //! * [`SimTime`] / [`SimDuration`] — an integer-picosecond clock in which
 //!   serialization delays at datacenter link rates are exact.
 //! * [`EventQueue`] — a future-event list with FIFO-stable tie-breaking, so
-//!   equal-seed runs replay bit-exactly.
+//!   equal-seed runs replay bit-exactly. Backed by a hierarchical timing
+//!   wheel (see `wheel`); [`HeapEventQueue`] keeps the original binary-heap
+//!   implementation as the differential-test reference and bench baseline.
 //! * [`rng`] — seed-derived independent random substreams.
 //!
 //! The engine is deliberately ignorant of packets and switches; the network
@@ -18,8 +20,9 @@
 pub mod queue;
 pub mod rng;
 pub mod time;
+mod wheel;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::{substream, SimRng};
 pub use time::{bytes_in, tx_delay, SimDuration, SimTime};
 
@@ -48,6 +51,72 @@ mod proptests {
                     prop_assert!(w[0].1 < w[1].1, "FIFO violated at t={}", w[0].0);
                 }
             }
+        }
+
+        /// Differential: the timing-wheel queue and the reference heap queue,
+        /// driven through the same schedule/pop interleaving, produce
+        /// identical pop sequences. Deltas span wheel levels, the far-future
+        /// spillover, and massive same-timestamp tie batches.
+        #[test]
+        fn wheel_matches_heap_reference(
+            ops in proptest::collection::vec(
+                (0u8..4, 0u64..200_000_000_000, 1u16..300), 1..120)
+        ) {
+            let mut wheel = EventQueue::new();
+            let mut heap = HeapEventQueue::new();
+            let mut payload = 0u64;
+            for (kind, delta, reps) in ops {
+                match kind {
+                    // Burst of same-timestamp ties at now + delta.
+                    0 => {
+                        let at = SimTime(wheel.now().as_ps() + delta);
+                        for _ in 0..reps {
+                            wheel.schedule(at, payload);
+                            heap.schedule(at, payload);
+                            payload += 1;
+                        }
+                    }
+                    // Spread of distinct near timestamps.
+                    1 => {
+                        for r in 0..reps as u64 {
+                            let at = SimTime(wheel.now().as_ps() + delta + r * 777);
+                            wheel.schedule(at, payload);
+                            heap.schedule(at, payload);
+                            payload += 1;
+                        }
+                    }
+                    // Far-future spillover (beyond the 2^36-tick span).
+                    2 => {
+                        let at = SimTime(
+                            wheel.now().as_ps() + delta + (1u64 << 51));
+                        wheel.schedule(at, payload);
+                        heap.schedule(at, payload);
+                        payload += 1;
+                    }
+                    // Pop a batch, checking equality as we go.
+                    _ => {
+                        for _ in 0..reps {
+                            let (a, b) = (wheel.pop(), heap.pop());
+                            prop_assert_eq!(a, b);
+                            if a.is_none() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
+                prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            }
+            // Drain to empty: full tail must match too.
+            loop {
+                let (a, b) = (wheel.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(wheel.now(), heap.now());
+            prop_assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
         }
 
         /// tx_delay is monotone in bytes and additive across packet splits.

@@ -1,51 +1,29 @@
 //! Deterministic future-event queue.
 //!
-//! A binary-heap priority queue keyed on `(SimTime, sequence)` where the
-//! sequence number is a monotonically increasing insertion counter. Two
-//! events scheduled for the same instant therefore pop in the order they
-//! were scheduled (FIFO), which makes whole-simulation replays bit-exact for
-//! a fixed seed — a prerequisite for the determinism tests and for debugging
-//! rare reordering interleavings.
+//! [`EventQueue`] is the simulator's future-event list, keyed on
+//! `(SimTime, sequence)` where the sequence number is a monotonically
+//! increasing insertion counter. Two events scheduled for the same instant
+//! therefore pop in the order they were scheduled (FIFO), which makes
+//! whole-simulation replays bit-exact for a fixed seed — a prerequisite for
+//! the determinism tests and for debugging rare reordering interleavings.
+//!
+//! Storage is a hierarchical timing wheel ([`crate::wheel`]): near-future
+//! scheduling — the overwhelmingly common case in a packet simulation — is
+//! an O(1) bucket append instead of a `BinaryHeap`'s O(log n) sift. The
+//! previous heap-backed queue survives as [`HeapEventQueue`], the reference
+//! implementation that the differential proptests and the criterion
+//! head-to-head benches compare against.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
+use crate::wheel::{Entry, TimingWheel};
 use std::collections::BinaryHeap;
-
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// The future event list.
 ///
 /// Generic over the event payload so the engine stays ignorant of network
 /// semantics; the simulator's dispatch loop owns the interpretation.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    wheel: TimingWheel<E>,
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
@@ -60,7 +38,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+            wheel: TimingWheel::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
@@ -90,22 +68,18 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Entry {
-            time: at,
-            seq,
-            event,
-        });
+        self.wheel.insert(at, seq, event);
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     ///
-    /// Event-clock monotonicity is structurally guaranteed by the heap
-    /// order plus the `schedule` past-check; under `--features audit` (or
-    /// any debug build) it is re-verified on every pop so a future heap
-    /// or comparator bug cannot silently run time backwards.
+    /// Event-clock monotonicity is structurally guaranteed by the wheel's
+    /// pop order plus the `schedule` past-check; under `--features audit`
+    /// (or any debug build) it is re-verified on every pop so a future
+    /// bucketing or comparator bug cannot silently run time backwards.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        let entry = self.wheel.pop()?;
         #[cfg(any(debug_assertions, feature = "audit"))]
         assert!(
             entry.time >= self.now,
@@ -124,10 +98,98 @@ impl<E> EventQueue<E> {
     /// feature).
     #[inline]
     pub fn iter_events(&self) -> impl Iterator<Item = &E> {
-        self.heap.iter().map(|e| &e.event)
+        self.wheel.iter_events()
     }
 
     /// Timestamp of the next event without popping it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.wheel.peek_time()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.wheel.is_empty()
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+/// The original `BinaryHeap`-backed future-event list.
+///
+/// Kept as the **reference implementation** of the queue contract: the
+/// randomized differential tests below drive it and [`EventQueue`] with
+/// identical schedule/pop interleavings and demand identical output, and
+/// `crates/bench/benches/components.rs` races the two head-to-head. Not
+/// used by the simulator itself.
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E> Default for HeapEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapEventQueue<E> {
+    pub fn new() -> Self {
+        HeapEventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// See [`EventQueue::now`].
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// See [`EventQueue::schedule`].
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    #[inline]
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={now}",
+            at = at.as_ps(),
+            now = self.now.as_ps()
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// See [`EventQueue::pop`].
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
@@ -143,7 +205,6 @@ impl<E> EventQueue<E> {
         self.heap.len()
     }
 
-    /// Total number of events ever scheduled (diagnostic).
     #[inline]
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
@@ -212,5 +273,77 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 3);
         assert!(q.pop().is_none());
         assert_eq!(q.scheduled_total(), 3);
+    }
+
+    #[test]
+    fn far_future_spillover_round_trips() {
+        // Deltas beyond the wheel span (2^36 ticks ≈ 19 min) take the
+        // overflow-heap path; mixing near and far events must still pop in
+        // global (time, seq) order.
+        let mut q = EventQueue::new();
+        let far = SimTime(2_000 * crate::time::PS_PER_SEC); // ~33 min
+        q.schedule(far, "far2");
+        q.schedule(SimTime::from_ns(10), "near");
+        q.schedule(far, "far2-tie");
+        q.schedule(far + SimDuration::from_ns(1), "far3");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["near", "far2", "far2-tie", "far3"]);
+        assert_eq!(q.now(), far + SimDuration::from_ns(1));
+    }
+
+    #[test]
+    fn high_bit_carry_crossing_stays_ordered() {
+        // A 1-tick delta that flips a bit group above the top wheel level
+        // (cursor 2^42 − 1 → 2^42 in ticks) exercises the carry spill path;
+        // the smaller crossing at 2^36 exercises the top in-wheel level.
+        for bit in [50u32, 56] {
+            let base = SimTime((1u64 << bit) - (1 << 14));
+            let mut q = EventQueue::new();
+            q.schedule(base, 0u32);
+            assert_eq!(q.pop().unwrap().1, 0);
+            q.schedule(SimTime(1u64 << bit), 1);
+            q.schedule(SimTime((1u64 << bit) + (1 << 15)), 2);
+            assert_eq!(q.pop().unwrap().1, 1);
+            assert_eq!(q.pop().unwrap().1, 2);
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn same_tick_insert_during_drain_merges_fifo() {
+        // Several events inside one wheel tick; after popping the first,
+        // schedule more at both the popped instant and later inside the
+        // same tick — they must merge into the drain batch in (time, seq)
+        // order.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(2048), "a");
+        q.schedule(SimTime(2050), "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.schedule(SimTime(2049), "b");
+        q.schedule(SimTime(2050), "d"); // ties after "c" (FIFO)
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn heap_reference_matches_on_dense_ties() {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        // 3 bursts of 500 same-timestamp events at 2 µs spacing, the shape
+        // of the coalesced predictor tick.
+        for burst in 0..3u64 {
+            let t = SimTime::from_us(2 * (burst + 1));
+            for i in 0..500u64 {
+                wheel.schedule(t, burst * 1000 + i);
+                heap.schedule(t, burst * 1000 + i);
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

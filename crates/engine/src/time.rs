@@ -28,16 +28,22 @@ impl SimTime {
     /// A sentinel "never" time greater than any reachable instant.
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// Identity constructor, `const` so bucket widths and tick periods can
+    /// be named constants (the timing wheel and benches rely on this).
     #[inline]
-    pub fn from_ns(ns: u64) -> Self {
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
         SimTime(ns * PS_PER_NS)
     }
     #[inline]
-    pub fn from_us(us: u64) -> Self {
+    pub const fn from_us(us: u64) -> Self {
         SimTime(us * PS_PER_US)
     }
     #[inline]
-    pub fn from_ms(ms: u64) -> Self {
+    pub const fn from_ms(ms: u64) -> Self {
         SimTime(ms * PS_PER_MS)
     }
     #[inline]
@@ -70,16 +76,21 @@ impl SimTime {
 impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// Identity constructor, `const` (see [`SimTime::from_ps`]).
     #[inline]
-    pub fn from_ns(ns: u64) -> Self {
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
         SimDuration(ns * PS_PER_NS)
     }
     #[inline]
-    pub fn from_us(us: u64) -> Self {
+    pub const fn from_us(us: u64) -> Self {
         SimDuration(us * PS_PER_US)
     }
     #[inline]
-    pub fn from_ms(ms: u64) -> Self {
+    pub const fn from_ms(ms: u64) -> Self {
         SimDuration(ms * PS_PER_MS)
     }
     /// Duration from a floating-point number of microseconds (used by config

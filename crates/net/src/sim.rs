@@ -22,7 +22,11 @@ use rlb_metrics::{FabricCounters, FctSummary, FlowRecord, LogHistogram};
 use rlb_workloads::FlowSpec;
 
 /// Simulation events.
-#[derive(Debug, Clone)]
+///
+/// Deliberately not `Clone`: every event is dispatched exactly once and
+/// packets move by value through the fabric (`cargo xtask lint`'s
+/// hot-clone rule guards the dispatch arms).
+#[derive(Debug)]
 enum Event {
     FlowStart(u32),
     /// NIC pacing wake-up.
@@ -40,15 +44,33 @@ enum Event {
     HostEgressDone(u32),
     /// PFC PAUSE (true) / RESUME (false) takes effect at (node, port).
     PauseFrame { node: Node, port: u16, pause: bool },
-    /// RLB Δt ingress-queue sampling tick.
-    PredictorSample { node: Node, port: u16 },
+    /// RLB Δt sampling tick: one event per switch samples **all** of its
+    /// active ingress ports (identical sampling times ⇒ identical
+    /// predictions), instead of one event per (node, port).
+    PredictorTick(Node),
     /// A recirculated packet re-enters the routing pipeline.
     Recirculate { node: Node, pkt: Packet },
-    AlphaTimer(u32),
-    IncreaseTimer(u32),
+    /// Global DCQCN alpha-update tick over every active flow.
+    AlphaTick,
+    /// Global DCQCN rate-increase tick over every active flow.
+    IncreaseTick,
+    /// Per-flow retransmission-timeout probe (kept per-flow: its period is
+    /// long and coalescing would skew fresh flows toward spurious timeouts).
     RtoCheck(u32),
     /// Periodic fabric snapshot (only when monitoring is enabled).
     MonitorTick,
+}
+
+/// Wall-clock performance telemetry for one run.
+///
+/// Measurement only: nothing in the simulation reads these values, so
+/// determinism of the simulated results is unaffected by host speed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfStats {
+    /// Wall-clock time spent inside the `run()` event loop, milliseconds.
+    pub wall_ms: f64,
+    /// Events dispatched per wall-clock second.
+    pub events_per_sec: f64,
 }
 
 /// Outcome of one run.
@@ -70,6 +92,8 @@ pub struct RunResult {
     /// Deterministic iteration order (BTreeMap) so two runs of the same
     /// scenario can be compared entry-by-entry.
     pub pfc_pauses_by_port: std::collections::BTreeMap<((bool, u32), u16), u64>,
+    /// Wall-clock speed of this run (excluded from determinism digests).
+    pub perf: PerfStats,
 }
 
 impl RunResult {
@@ -80,18 +104,31 @@ impl RunResult {
     /// Completion time of each flow group (incast request): group id →
     /// (last finish − first start) in ms, only for fully completed groups.
     pub fn group_completion_ms(&self) -> Vec<(u64, f64)> {
+        use std::collections::btree_map::Entry;
         use std::collections::BTreeMap;
+        // Accumulator per group: (earliest start, latest finish — `None` as
+        // soon as any member is unfinished). Seeded from the first record's
+        // actual values, never from a sentinel: a `(u64::MAX, Some(0))`
+        // seed would fabricate a finish time for groups that should merge
+        // from their own data.
         let mut groups: BTreeMap<u64, (u64, Option<u64>)> = BTreeMap::new();
         for (r, g) in self.records.iter().zip(self.groups.iter()) {
             if *g == u64::MAX {
                 continue;
             }
-            let e = groups.entry(*g).or_insert((u64::MAX, Some(0)));
-            e.0 = e.0.min(r.start_ps);
-            e.1 = match (e.1, r.finish_ps) {
-                (Some(acc), Some(f)) => Some(acc.max(f)),
-                _ => None,
-            };
+            match groups.entry(*g) {
+                Entry::Vacant(v) => {
+                    v.insert((r.start_ps, r.finish_ps));
+                }
+                Entry::Occupied(mut o) => {
+                    let e = o.get_mut();
+                    e.0 = e.0.min(r.start_ps);
+                    e.1 = match (e.1, r.finish_ps) {
+                        (Some(acc), Some(f)) => Some(acc.max(f)),
+                        _ => None,
+                    };
+                }
+            }
         }
         groups
             .into_iter()
@@ -123,6 +160,14 @@ pub struct Simulation {
     completed: usize,
     /// Scratch buffer for per-decision path snapshots (no per-packet alloc).
     path_scratch: Vec<PathInfo>,
+    /// Scratch: ingress ports that warned during one predictor tick.
+    warn_scratch: Vec<u16>,
+    /// Scratch: hosts to kick after a rate-increase tick (dedup per host).
+    host_kick_scratch: Vec<bool>,
+    /// A global `AlphaTick` is currently scheduled.
+    alpha_tick_armed: bool,
+    /// A global `IncreaseTick` is currently scheduled.
+    increase_tick_armed: bool,
     /// CNM relay TTL.
     cnm_ttl: u8,
     timeseries: FabricTimeSeries,
@@ -281,6 +326,10 @@ impl Simulation {
             ood_histogram: LogHistogram::new(),
             completed: 0,
             path_scratch: Vec::with_capacity(n_spines as usize),
+            warn_scratch: Vec::new(),
+            host_kick_scratch: vec![false; n_hosts as usize],
+            alpha_tick_armed: false,
+            increase_tick_armed: false,
             cnm_ttl: 4,
             timeseries: FabricTimeSeries::default(),
             traces: FlowTraces::new(&cfg_trace_flows),
@@ -334,6 +383,9 @@ impl Simulation {
         }
         let hard_stop = self.cfg.hard_stop;
         let mut events: u64 = 0;
+        // Wall-clock is recorded for the perf telemetry only; nothing in
+        // the simulation reads it, so replays stay bit-exact.
+        let wall_start = std::time::Instant::now(); // lint:allow(wall-clock)
         while let Some((t, ev)) = self.q.pop() {
             if t > hard_stop {
                 #[cfg(feature = "audit")]
@@ -358,6 +410,15 @@ impl Simulation {
         }
         #[cfg(feature = "audit")]
         self.audit_sweep(true);
+        let wall = wall_start.elapsed();
+        let perf = PerfStats {
+            wall_ms: wall.as_secs_f64() * 1e3,
+            events_per_sec: if wall.as_secs_f64() > 0.0 {
+                events as f64 / wall.as_secs_f64()
+            } else {
+                0.0
+            },
+        };
         let end_time = self.now();
         let groups: Vec<u64> = self.flows.iter().map(|f| f.spec.group).collect();
         let records = self.build_records();
@@ -386,6 +447,7 @@ impl Simulation {
             timeseries: self.timeseries,
             traces: self.traces,
             pfc_pauses_by_port: self.pfc_pauses_by_port,
+            perf,
         }
     }
 
@@ -457,10 +519,10 @@ impl Simulation {
             Event::EgressDone { node, port, release } => self.on_egress_done(node, port, release),
             Event::HostEgressDone(h) => self.on_host_egress_done(h),
             Event::PauseFrame { node, port, pause } => self.on_pause_frame(node, port, pause),
-            Event::PredictorSample { node, port } => self.on_predictor_sample(node, port),
+            Event::PredictorTick(node) => self.on_predictor_tick(node),
             Event::Recirculate { node, pkt } => self.on_recirculate(node, pkt),
-            Event::AlphaTimer(f) => self.on_alpha_timer(f),
-            Event::IncreaseTimer(f) => self.on_increase_timer(f),
+            Event::AlphaTick => self.on_alpha_tick(),
+            Event::IncreaseTick => self.on_increase_tick(),
             Event::RtoCheck(f) => self.on_rto_check(f),
             Event::MonitorTick => self.on_monitor_tick(),
         }
@@ -510,16 +572,20 @@ impl Simulation {
             fs.started = true;
             fs.next_eligible_ps = now.as_ps();
         }
+        // Arm the global DCQCN ticks on the first active flow; while armed
+        // they service every active flow, so later starts are free.
         let t = &self.cfg.transport;
-        self.q.schedule(
-            now + SimDuration(t.dcqcn.alpha_timer_ps),
-            Event::AlphaTimer(f),
-        );
-        self.q.schedule(
-            now + SimDuration(t.dcqcn.increase_timer_ps),
-            Event::IncreaseTimer(f),
-        );
-        self.q.schedule(now + SimDuration(t.rto_ps), Event::RtoCheck(f));
+        let (alpha_ps, inc_ps, rto_ps) =
+            (t.dcqcn.alpha_timer_ps, t.dcqcn.increase_timer_ps, t.rto_ps);
+        if !self.alpha_tick_armed {
+            self.alpha_tick_armed = true;
+            self.q.schedule(now + SimDuration(alpha_ps), Event::AlphaTick);
+        }
+        if !self.increase_tick_armed {
+            self.increase_tick_armed = true;
+            self.q.schedule(now + SimDuration(inc_ps), Event::IncreaseTick);
+        }
+        self.q.schedule(now + SimDuration(rto_ps), Event::RtoCheck(f));
         let host = self.flows[f as usize].spec.src_host;
         self.host_try_send(host);
     }
@@ -1066,61 +1132,81 @@ impl Simulation {
     // RLB: prediction and CNM plumbing
     // ------------------------------------------------------------------
 
-    /// Start the Δt sampling loop for an ingress port once it shows
-    /// congestion (half the warning threshold), per §3.2.1's "only performs
-    /// prediction when there is congestion".
+    /// Start Δt sampling for an ingress port once it shows congestion
+    /// (half the warning threshold), per §3.2.1's "only performs
+    /// prediction when there is congestion". The sampling clock itself is
+    /// one `PredictorTick` per switch; activating a port joins it to the
+    /// switch's tick (arming the tick if it isn't running).
     fn maybe_activate_sampler(&mut self, node: Node, in_port: u16) {
-        let Some(rcfg) = self.cfg.rlb.as_ref() else {
-            return;
+        let dt = match self.cfg.rlb.as_ref() {
+            Some(rcfg) => rcfg.dt_ps,
+            None => return,
         };
-        let dt = rcfg.dt_ps;
         let now = self.now();
-        let activate = {
+        let arm = {
             let sw = self.switch_mut(node);
             if sw.predictors.is_empty() || sw.sampler_active[in_port as usize] {
-                false
-            } else {
-                let activation = sw.predictors[in_port as usize].qth_bytes() / 2;
-                sw.ingress_bytes[in_port as usize] >= activation.max(1)
+                return;
             }
-        };
-        if activate {
-            let sw = self.switch_mut(node);
+            let activation = sw.predictors[in_port as usize].qth_bytes() / 2;
+            if sw.ingress_bytes[in_port as usize] < activation.max(1) {
+                return;
+            }
             sw.sampler_active[in_port as usize] = true;
             sw.predictors[in_port as usize].reset();
-            self.q.schedule(
-                now + SimDuration(dt),
-                Event::PredictorSample { node, port: in_port },
-            );
+            let arm = !sw.sampler_tick_armed;
+            sw.sampler_tick_armed = true;
+            arm
+        };
+        if arm {
+            self.q
+                .schedule(now + SimDuration(dt), Event::PredictorTick(node));
         }
     }
 
-    fn on_predictor_sample(&mut self, node: Node, port: u16) {
-        let Some(rcfg) = self.cfg.rlb.clone() else {
-            return;
+    /// One Δt tick for a switch: sample every active ingress port in
+    /// ascending port order (deterministic CNM emission), deactivate ports
+    /// that went quiet, and keep ticking while any port stays active.
+    fn on_predictor_tick(&mut self, node: Node) {
+        let dt = match self.cfg.rlb.as_ref() {
+            Some(rcfg) => rcfg.dt_ps,
+            None => return,
         };
         let now = self.now();
-        let (pred, qlen) = {
+        let mut warns = std::mem::take(&mut self.warn_scratch);
+        warns.clear();
+        let keep_ticking = {
             let sw = self.switch_mut(node);
-            let q = sw.ingress_bytes[port as usize];
-            (sw.predictors[port as usize].on_sample(now.as_ps(), q), q)
+            let mut any_active = false;
+            for port in 0..sw.n_ports() {
+                if !sw.sampler_active[port] {
+                    continue;
+                }
+                let qlen = sw.ingress_bytes[port];
+                let pred = sw.predictors[port].on_sample(now.as_ps(), qlen);
+                if pred == Prediction::Warn {
+                    warns.push(port as u16);
+                }
+                // Keep sampling while the port stays congested.
+                let activation = sw.predictors[port].qth_bytes() / 2;
+                if qlen >= activation.max(1) || pred == Prediction::Warn {
+                    any_active = true;
+                } else {
+                    sw.sampler_active[port] = false;
+                    sw.predictors[port].reset();
+                }
+            }
+            sw.sampler_tick_armed = any_active;
+            any_active
         };
-        if pred == Prediction::Warn {
-            self.counters.cnm_generated += 1;
+        self.counters.cnm_generated += warns.len() as u64;
+        for &port in &warns {
             self.send_cnm_upstream(node, port, encode_node(node), port, self.cnm_ttl);
         }
-        // Keep sampling while the port stays congested.
-        let activation = {
-            let sw = self.switch_mut(node);
-            sw.predictors[port as usize].qth_bytes() / 2
-        };
-        if qlen >= activation.max(1) || pred == Prediction::Warn {
+        self.warn_scratch = warns;
+        if keep_ticking {
             self.q
-                .schedule(now + SimDuration(rcfg.dt_ps), Event::PredictorSample { node, port });
-        } else {
-            let sw = self.switch_mut(node);
-            sw.sampler_active[port as usize] = false;
-            sw.predictors[port as usize].reset();
+                .schedule(now + SimDuration(dt), Event::PredictorTick(node));
         }
     }
 
@@ -1174,15 +1260,18 @@ impl Simulation {
     ///   driven hop-by-hop propagation).
     fn handle_cnm(&mut self, node: Node, in_port: u16, origin_node: u32, origin_port: u16, ttl: u8) {
         let now = self.now();
-        let Some(rcfg) = self.cfg.rlb.clone() else {
-            return; // CNMs in a fabric without RLB: ignore
+        // Copy the one field we need instead of cloning the whole RlbConfig
+        // on every CNM (this runs per control frame under congestion).
+        let warn_lifetime_ps = match self.cfg.rlb.as_ref() {
+            Some(rcfg) => rcfg.warn_lifetime_ps,
+            None => return, // CNMs in a fabric without RLB: ignore
         };
         match node {
             Node::Leaf(l) => {
                 let Some(via_spine) = self.topo.spine_of_leaf_port(in_port) else {
                     return; // CNM from a host port: not meaningful
                 };
-                let until = now.as_ps() + rcfg.warn_lifetime_ps;
+                let until = now.as_ps() + warn_lifetime_ps;
                 let origin = decode_node(origin_node);
                 let sw = &mut self.leaves[l as usize];
                 let ls = sw.leaf.as_mut().expect("leaf state");
@@ -1238,26 +1327,49 @@ impl Simulation {
     // Transport timers
     // ------------------------------------------------------------------
 
-    fn on_alpha_timer(&mut self, f: u32) {
-        let done = self.flows[f as usize].is_complete();
-        if done {
+    /// Global alpha-update tick: one event services every active flow.
+    /// Disarms itself when no flow is active; `on_flow_start` re-arms.
+    fn on_alpha_tick(&mut self) {
+        let mut any_active = false;
+        for fs in self.flows.iter_mut() {
+            if fs.started && !fs.is_complete() {
+                fs.dcqcn.on_alpha_timer();
+                any_active = true;
+            }
+        }
+        if !any_active {
+            self.alpha_tick_armed = false;
             return;
         }
-        self.flows[f as usize].dcqcn.on_alpha_timer();
         let dt = SimDuration(self.cfg.transport.dcqcn.alpha_timer_ps);
-        self.q.schedule(self.now() + dt, Event::AlphaTimer(f));
+        self.q.schedule(self.now() + dt, Event::AlphaTick);
     }
 
-    fn on_increase_timer(&mut self, f: u32) {
-        if self.flows[f as usize].is_complete() {
+    /// Global rate-increase tick. Hosts are kicked at most once per tick
+    /// (ascending host id — deterministic), however many of their flows
+    /// just got a rate increase.
+    fn on_increase_tick(&mut self) {
+        let mut any_active = false;
+        self.host_kick_scratch.fill(false);
+        for fs in self.flows.iter_mut() {
+            if fs.started && !fs.is_complete() {
+                fs.dcqcn.on_increase_timer();
+                // Rate may have increased — the flow could be eligible sooner.
+                self.host_kick_scratch[fs.spec.src_host as usize] = true;
+                any_active = true;
+            }
+        }
+        if !any_active {
+            self.increase_tick_armed = false;
             return;
         }
-        self.flows[f as usize].dcqcn.on_increase_timer();
-        // Rate may have increased — the flow could be eligible sooner.
-        let host = self.flows[f as usize].spec.src_host;
         let dt = SimDuration(self.cfg.transport.dcqcn.increase_timer_ps);
-        self.q.schedule(self.now() + dt, Event::IncreaseTimer(f));
-        self.host_try_send(host);
+        self.q.schedule(self.now() + dt, Event::IncreaseTick);
+        for h in 0..self.host_kick_scratch.len() {
+            if self.host_kick_scratch[h] {
+                self.host_try_send(h as u32);
+            }
+        }
     }
 
     fn on_rto_check(&mut self, f: u32) {
@@ -1304,10 +1416,8 @@ mod tests {
         encode_node(Node::Host(0));
     }
 
-    #[test]
-    fn run_result_group_completion() {
-        // Build a RunResult by hand to exercise the group reduction.
-        let rec = |start: u64, finish: Option<u64>| rlb_metrics::FlowRecord {
+    fn rec(start: u64, finish: Option<u64>) -> rlb_metrics::FlowRecord {
+        rlb_metrics::FlowRecord {
             flow_id: 0,
             src_host: 0,
             dst_host: 1,
@@ -1320,28 +1430,75 @@ mod tests {
             packets_sent: 1,
             naks: 0,
             recirculations: 0,
-        };
-        let res = RunResult {
-            records: vec![
-                rec(0, Some(2_000_000_000)),      // group 1
-                rec(1_000_000_000, Some(5_000_000_000)), // group 1 (last)
-                rec(0, None),                      // group 2, incomplete
-                rec(0, Some(1_000_000_000)),       // untagged
-            ],
+        }
+    }
+
+    fn result_with(records: Vec<rlb_metrics::FlowRecord>, groups: Vec<u64>) -> RunResult {
+        RunResult {
+            records,
             counters: FabricCounters::default(),
             ood_histogram: LogHistogram::new(),
             end_time: SimTime::from_ms(10),
             events_processed: 0,
-            groups: vec![1, 1, 2, u64::MAX],
+            groups,
             timeseries: Default::default(),
             traces: Default::default(),
             pfc_pauses_by_port: Default::default(),
-        };
+            perf: PerfStats::default(),
+        }
+    }
+
+    #[test]
+    fn run_result_group_completion() {
+        // Build a RunResult by hand to exercise the group reduction.
+        let res = result_with(
+            vec![
+                rec(0, Some(2_000_000_000)),             // group 1
+                rec(1_000_000_000, Some(5_000_000_000)), // group 1 (last)
+                rec(0, None),                            // group 2, incomplete
+                rec(0, Some(1_000_000_000)),             // untagged
+            ],
+            vec![1, 1, 2, u64::MAX],
+        );
         let groups = res.group_completion_ms();
         // Group 1 completes at 5 ms from start 0 → 5.0 ms; group 2 has an
         // unfinished flow → excluded; untagged ignored.
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].0, 1);
         assert!((groups[0].1 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_with_incomplete_first_record_is_excluded() {
+        // The unfinished flow is the group's FIRST record: the accumulator
+        // must seed from it (None), not from a Some(0) sentinel that a
+        // later finished record would "max" over.
+        let res = result_with(
+            vec![
+                rec(0, None),                            // group 7, incomplete, first
+                rec(1_000_000_000, Some(4_000_000_000)), // group 7, finished
+            ],
+            vec![7, 7],
+        );
+        assert!(res.group_completion_ms().is_empty());
+    }
+
+    #[test]
+    fn fully_complete_group_uses_its_own_extremes() {
+        // All-complete group: completion = max finish − min start, even
+        // when the earliest-starting record is not the first listed.
+        let res = result_with(
+            vec![
+                rec(3_000_000_000, Some(4_000_000_000)), // group 9
+                rec(2_000_000_000, Some(9_000_000_000)), // group 9, min start + max finish
+                rec(5_000_000_000, Some(6_000_000_000)), // group 9
+            ],
+            vec![9, 9, 9],
+        );
+        let groups = res.group_completion_ms();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, 9);
+        // 9 ms − 2 ms = 7 ms.
+        assert!((groups[0].1 - 7.0).abs() < 1e-9);
     }
 }

@@ -134,8 +134,11 @@ pub struct Switch {
     pub shared_used: u64,
     /// RLB predictor per ingress port (present iff RLB runs in this fabric).
     pub predictors: Vec<PfcPredictor>,
-    /// Sampling loop currently scheduled for this ingress port.
+    /// This ingress port participates in the Δt sampling tick.
     pub sampler_active: Vec<bool>,
+    /// A per-switch `PredictorTick` event is currently scheduled; it
+    /// samples every `sampler_active` port in one dispatch.
+    pub sampler_tick_armed: bool,
     /// Who recently fed each egress port (CNM relay targeting).
     pub contributors: ContributorTable,
     /// Leaf-only state.
@@ -168,6 +171,7 @@ impl Switch {
             shared_used: 0,
             predictors: Vec::new(),
             sampler_active: vec![false; n_ports],
+            sampler_tick_armed: false,
             contributors: ContributorTable::new(n_ports, contributor_window_ps),
             leaf: None,
             cfg,

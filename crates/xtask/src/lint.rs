@@ -18,6 +18,11 @@
 //! |                 |          | `crates/{engine,net,core,transport,lb}`        |
 //! |                 |          | (`.expect("invariant …")` is the sanctioned    |
 //! |                 |          | form — it documents *why* it cannot fail)      |
+//! | `hot-clone`     | warning  | `pkt.clone()` / `event.clone()` (and the       |
+//! |                 |          | `packet`/`ev` spellings) in `net/src/sim.rs` — |
+//! |                 |          | the dispatch loop is the per-event hot path    |
+//! |                 |          | and deep-copying payloads there undoes the     |
+//! |                 |          | engine's allocation-free design                |
 //!
 //! Scope rules: `vendor/` and `target/` are never scanned; `crates/bench`
 //! is exempt from everything (it times and explores, it is not replayed);
@@ -65,6 +70,7 @@ pub enum Rule {
     WallClock,
     UnseededRng,
     LibUnwrap,
+    HotClone,
 }
 
 impl Rule {
@@ -74,12 +80,13 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::UnseededRng => "unseeded-rng",
             Rule::LibUnwrap => "lib-unwrap",
+            Rule::HotClone => "hot-clone",
         }
     }
 
     pub fn severity(self) -> Severity {
         match self {
-            Rule::HashContainer | Rule::LibUnwrap => Severity::Warning,
+            Rule::HashContainer | Rule::LibUnwrap | Rule::HotClone => Severity::Warning,
             Rule::WallClock | Rule::UnseededRng => Severity::Error,
         }
     }
@@ -90,6 +97,7 @@ impl Rule {
             Rule::WallClock => &["Instant::now", "SystemTime::now"],
             Rule::UnseededRng => &["thread_rng", "from_entropy", "rand::random"],
             Rule::LibUnwrap => &[".unwrap()"],
+            Rule::HotClone => &[".clone()"],
         }
     }
 
@@ -111,15 +119,20 @@ impl Rule {
                 "return a Result, or use `.expect(\"<invariant that makes this \
                  infallible>\")` so the panic message explains itself"
             }
+            Rule::HotClone => {
+                "the dispatch loop runs once per event; move the payload \
+                 instead of cloning it, or hoist the copy out of the hot path"
+            }
         }
     }
 }
 
-const ALL_RULES: [Rule; 4] = [
+const ALL_RULES: [Rule; 5] = [
     Rule::HashContainer,
     Rule::WallClock,
     Rule::UnseededRng,
     Rule::LibUnwrap,
+    Rule::HotClone,
 ];
 
 /// What kind of file is being scanned — decides which rules apply.
@@ -290,6 +303,30 @@ fn allowed_rules(comment: &str) -> Vec<Rule> {
     out
 }
 
+/// `.clone()` whose receiver is a packet/event binding (`pkt`, `packet`,
+/// `ev`, `event`), with a word-boundary check on the left so `prev.clone()`
+/// or `my_pkt.clone()` do not match. Line-local, like every other rule.
+fn hot_clone_hit(code: &str) -> bool {
+    const RECEIVERS: [&str; 4] = ["pkt", "packet", "ev", "event"];
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(i) = code[from..].find(".clone()") {
+        let recv_end = from + i;
+        for recv in RECEIVERS {
+            if code[..recv_end].ends_with(recv) {
+                let start = recv_end - recv.len();
+                let bounded = start == 0
+                    || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+                if bounded {
+                    return true;
+                }
+            }
+        }
+        from = recv_end + ".clone()".len();
+    }
+    false
+}
+
 // ---------------------------------------------------------------------------
 // The scanner
 // ---------------------------------------------------------------------------
@@ -379,7 +416,13 @@ pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Finding> {
             if allows.contains(&rule) {
                 continue;
             }
-            if rule.patterns().iter().any(|p| code.contains(p)) {
+            let hit = match rule {
+                // Scoped to the dispatch loop's file: cloning a config at
+                // setup elsewhere is fine, cloning a packet per event is not.
+                Rule::HotClone => file.ends_with("net/src/sim.rs") && hot_clone_hit(code),
+                _ => rule.patterns().iter().any(|p| code.contains(p)),
+            };
+            if hit {
                 findings.push(Finding {
                     file: file.to_string(),
                     line: idx + 1,
@@ -501,6 +544,44 @@ mod tests {
     }
 
     #[test]
+    fn hot_clone_flags_packet_and_event_receivers_in_sim_only() {
+        let sim = "crates/net/src/sim.rs";
+        for bad in [
+            "fn f(pkt: Packet) { g(pkt.clone()); }\n",
+            "let dup = packet.clone();\n",
+            "self.dispatch(ev.clone());\n",
+            "queue.push(event.clone());\n",
+        ] {
+            assert_eq!(
+                lint_source(sim, bad, FileClass::CoreLib)
+                    .into_iter()
+                    .map(|f| f.rule)
+                    .collect::<Vec<_>>(),
+                vec![Rule::HotClone],
+                "should flag: {bad}"
+            );
+        }
+        // Word boundary: other receivers that merely end in a keyword.
+        for ok in [
+            "let p = prev.clone();\n",
+            "let c = cfg.switch.clone();\n",
+            "let m = my_pkt.clone();\n",
+            "let d = dev.clone();\n",
+        ] {
+            assert!(
+                lint_source(sim, ok, FileClass::CoreLib).is_empty(),
+                "should not flag: {ok}"
+            );
+        }
+        // Outside sim.rs the same code is not the hot path.
+        let bad = "g(pkt.clone());\n";
+        assert!(lint_source("crates/net/src/topology.rs", bad, FileClass::CoreLib).is_empty());
+        // Escape hatch works like every other rule.
+        let allowed = "let dup = event.clone(); // lint:allow(hot-clone) trace slow path\n";
+        assert!(lint_source(sim, allowed, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
     fn bench_is_exempt() {
         let src = "fn f() { let t = Instant::now(); let mut r = rand::thread_rng(); }\n";
         assert!(rules_found(src, FileClass::Bench).is_empty());
@@ -570,6 +651,7 @@ fn g() {}
     fn severity_split_matches_policy() {
         assert_eq!(Rule::HashContainer.severity(), Severity::Warning);
         assert_eq!(Rule::LibUnwrap.severity(), Severity::Warning);
+        assert_eq!(Rule::HotClone.severity(), Severity::Warning);
         assert_eq!(Rule::WallClock.severity(), Severity::Error);
         assert_eq!(Rule::UnseededRng.severity(), Severity::Error);
     }
