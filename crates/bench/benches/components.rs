@@ -4,9 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rlb_core::{algorithm1, PfcPredictor, Prediction, RlbConfig};
-use rlb_engine::{substream, EventQueue, HeapEventQueue, SimTime};
+use rlb_engine::{substream, EventQueue, FlowTable, HeapEventQueue, SimTime};
 use rlb_lb::{build, Ctx, PathInfo, Scheme};
 use rlb_workloads::SizeCdf;
+use std::collections::BTreeMap;
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("engine/event_queue_push_pop_1k", |b| {
@@ -207,6 +208,150 @@ fn bench_lb_selection(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-packet decision prologue, isolated: (a) the stateful schemes'
+/// flow-table access (lookup-or-insert, flowlet expiry removes, a periodic
+/// GC sweep) raced between the old `BTreeMap` and `rlb_engine::FlowTable`,
+/// and (b) the path-snapshot assembly raced between a cold full rebuild
+/// and the generation-stamped cache's in-place queue refresh.
+mod decision_hot_path {
+    use super::*;
+
+    pub const OPS: u64 = 50_000;
+    const FLOWS: u64 = 4096;
+
+    /// Mostly-dense flow ids with a sparse tail — the shape real runs
+    /// produce (sequential spawn order, plus hashed synthetic ids).
+    fn key(i: u64) -> u64 {
+        if i % 8 == 7 {
+            (1 << 40) + i * 131
+        } else {
+            i
+        }
+    }
+
+    pub fn churn_flowtable(ops: u64) -> u64 {
+        let mut t: FlowTable<u64> = FlowTable::new();
+        let mut s = 0x5851_f42d_4c95_7f2du64;
+        let mut acc = 0u64;
+        for n in 0..ops {
+            let k = key(xorshift(&mut s) % FLOWS);
+            match t.get_mut(k) {
+                Some(v) => {
+                    *v = v.wrapping_add(1);
+                    acc ^= *v;
+                }
+                None => {
+                    t.insert(k, n);
+                }
+            }
+            if n % 64 == 0 {
+                t.remove(key(xorshift(&mut s) % FLOWS));
+            }
+            if n % 4096 == 0 {
+                t.retain(|_, v| *v % 7 != 0); // expiry sweep
+            }
+        }
+        acc.wrapping_add(t.len() as u64)
+    }
+
+    pub fn churn_btreemap(ops: u64) -> u64 {
+        let mut t: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut s = 0x5851_f42d_4c95_7f2du64;
+        let mut acc = 0u64;
+        for n in 0..ops {
+            let k = key(xorshift(&mut s) % FLOWS);
+            match t.get_mut(&k) {
+                Some(v) => {
+                    *v = v.wrapping_add(1);
+                    acc ^= *v;
+                }
+                None => {
+                    t.insert(k, n);
+                }
+            }
+            if n % 64 == 0 {
+                t.remove(&key(xorshift(&mut s) % FLOWS));
+            }
+            if n % 4096 == 0 {
+                t.retain(|_, v| *v % 7 != 0);
+            }
+        }
+        acc.wrapping_add(t.len() as u64)
+    }
+
+    pub const SPINES: usize = 40; // fig3 fabric width at both scales
+
+    /// Per-uplink egress state the snapshot reads (sim's `EgressPort`
+    /// fields that feed `PathInfo`).
+    pub struct Egress {
+        pub data_q_bytes: u64,
+        pub paused: bool,
+        pub rtt_ns: f64,
+        pub ecn_fraction: f64,
+    }
+
+    pub fn fabric() -> Vec<Egress> {
+        (0..SPINES)
+            .map(|s| Egress {
+                data_q_bytes: (s as u64 * 9_973) % 120_000,
+                paused: s % 11 == 0,
+                rtt_ns: 10_000.0 + s as f64 * 250.0,
+                ecn_fraction: (s % 5) as f64 * 0.05,
+            })
+            .collect()
+    }
+
+    /// Cold path: clear and repopulate the scratch vector, recomputing
+    /// every `PathInfo` field — what every decision paid before the
+    /// generation-stamped cache.
+    pub fn snapshot_cold(eg: &[Egress], scratch: &mut Vec<PathInfo>) -> u64 {
+        scratch.clear();
+        for (s, ep) in eg.iter().enumerate() {
+            scratch.push(PathInfo {
+                queue_bytes: ep.data_q_bytes,
+                paused: ep.paused,
+                warned: s % 13 == 0,
+                rtt_ns: ep.rtt_ns,
+                ecn_fraction: ep.ecn_fraction,
+                link_rate_bps: 40e9,
+            });
+        }
+        scratch.iter().map(|p| p.queue_bytes).sum()
+    }
+
+    /// Cached path: the signal generation matched, so only the volatile
+    /// queue state is refreshed in place (sim's middle snapshot tier).
+    pub fn snapshot_refresh(eg: &[Egress], scratch: &mut [PathInfo]) -> u64 {
+        for (s, p) in scratch.iter_mut().enumerate() {
+            p.queue_bytes = eg[s].data_q_bytes;
+            p.paused = eg[s].paused;
+        }
+        scratch.iter().map(|p| p.queue_bytes).sum()
+    }
+}
+
+fn bench_decision_hot_path(c: &mut Criterion) {
+    use decision_hot_path::*;
+    let mut group = c.benchmark_group("lb/decision_hot_path");
+    group.bench_function("flow_table/flowtable", |b| {
+        b.iter(|| black_box(churn_flowtable(OPS)))
+    });
+    group.bench_function("flow_table/btreemap", |b| {
+        b.iter(|| black_box(churn_btreemap(OPS)))
+    });
+    let eg = fabric();
+    group.bench_function("snapshot/cold_rebuild", |b| {
+        let mut scratch = Vec::with_capacity(SPINES);
+        b.iter(|| black_box(snapshot_cold(&eg, &mut scratch)))
+    });
+    group.bench_function("snapshot/cached_refresh", |b| {
+        let mut scratch = Vec::with_capacity(SPINES);
+        snapshot_cold(&eg, &mut scratch); // prime, as a stamp match would
+        b.iter(|| black_box(snapshot_refresh(&eg, &mut scratch)))
+    });
+    group.finish();
+}
+
 fn bench_workload_sampling(c: &mut Criterion) {
     c.bench_function("workloads/web_search_sample", |b| {
         let cdf = SizeCdf::web_search();
@@ -250,7 +395,7 @@ criterion_group! {
     name = benches;
     config = config();
     targets = bench_event_queue, bench_queue_head_to_head, bench_predictor,
-              bench_algorithm1, bench_lb_selection, bench_workload_sampling,
-              bench_gbn, bench_percentile
+              bench_algorithm1, bench_lb_selection, bench_decision_hot_path,
+              bench_workload_sampling, bench_gbn, bench_percentile
 }
 criterion_main!(benches);

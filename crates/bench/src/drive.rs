@@ -119,10 +119,19 @@ fn point_json(o: &JobOutcome, stable: bool) -> Json {
 fn perf_aggregate(summary: &RunSummary) -> Json {
     let mut events_total: u64 = 0;
     let mut sim_wall_ms: f64 = 0.0;
+    let mut decisions: u64 = 0;
+    let mut reuses: u64 = 0;
+    let mut refreshes: u64 = 0;
+    let mut rebuilds: u64 = 0;
+    let take = |p: &Json, k: &str| p.get(k).and_then(Json::as_u64).unwrap_or(0);
     for o in &summary.outcomes {
         if let Some(p) = o.metrics.get("perf") {
-            events_total += p.get("events_processed").and_then(Json::as_u64).unwrap_or(0);
+            events_total += take(p, "events_processed");
             sim_wall_ms += p.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+            decisions += take(p, "decisions");
+            reuses += take(p, "snapshot_reuses");
+            refreshes += take(p, "snapshot_refreshes");
+            rebuilds += take(p, "snapshot_rebuilds");
         }
     }
     let rate = if sim_wall_ms > 0.0 {
@@ -134,6 +143,10 @@ fn perf_aggregate(summary: &RunSummary) -> Json {
         ("events_processed_total", Json::U64(events_total)),
         ("sim_wall_ms_total", Json::F64(sim_wall_ms)),
         ("events_per_sec", Json::F64(rate)),
+        ("decisions_total", Json::U64(decisions)),
+        ("snapshot_reuses_total", Json::U64(reuses)),
+        ("snapshot_refreshes_total", Json::U64(refreshes)),
+        ("snapshot_rebuilds_total", Json::U64(rebuilds)),
         ("jobs_executed", Json::U64(summary.executed as u64)),
         ("jobs_cached", Json::U64(summary.cache_hits as u64)),
     ])

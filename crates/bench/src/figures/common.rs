@@ -65,6 +65,12 @@ pub struct RunRow {
     pub wall_ms: f64,
     /// Engine throughput, events per wall-clock second.
     pub events_per_sec: f64,
+    /// Source-leaf LB decisions and how their path snapshots were served
+    /// (cache reuse / in-place refresh / full rebuild).
+    pub decisions: u64,
+    pub snapshot_reuses: u64,
+    pub snapshot_refreshes: u64,
+    pub snapshot_rebuilds: u64,
 }
 
 pub fn reduce(label: String, res: RunResult) -> RunRow {
@@ -98,6 +104,10 @@ pub fn reduce(label: String, res: RunResult) -> RunRow {
         events_processed: res.events_processed,
         wall_ms: res.perf.wall_ms,
         events_per_sec: res.perf.events_per_sec,
+        decisions: res.perf.decisions,
+        snapshot_reuses: res.perf.snapshot_reuses,
+        snapshot_refreshes: res.perf.snapshot_refreshes,
+        snapshot_rebuilds: res.perf.snapshot_rebuilds,
     }
 }
 
@@ -205,6 +215,10 @@ pub fn run_metrics(label: String, sc: Scenario, extras: Vec<(&'static str, Json)
             ("events_processed", Json::U64(row.events_processed)),
             ("wall_ms", Json::F64(row.wall_ms)),
             ("events_per_sec", Json::F64(row.events_per_sec)),
+            ("decisions", Json::U64(row.decisions)),
+            ("snapshot_reuses", Json::U64(row.snapshot_reuses)),
+            ("snapshot_refreshes", Json::U64(row.snapshot_refreshes)),
+            ("snapshot_rebuilds", Json::U64(row.snapshot_rebuilds)),
         ]),
     );
     m

@@ -37,8 +37,10 @@ use std::time::Instant;
 /// Bumped whenever the job metrics layout or key derivation changes;
 /// reports embed it as `schema_version` and cache entries refuse to load
 /// across versions. v2: metrics gained the per-job `perf` block
-/// (events_processed / wall_ms / events_per_sec).
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// (events_processed / wall_ms / events_per_sec). v3: the perf block
+/// gained the decision / snapshot-cache counters (decisions,
+/// snapshot_reuses, snapshot_refreshes, snapshot_rebuilds).
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit — small, dependency-free, stable across platforms.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {

@@ -2,6 +2,7 @@
 //! PFC warning, preserving packet order.
 
 use crate::config::RlbConfig;
+use rlb_engine::FlowTable;
 use rlb_lb::{Ctx, LoadBalancer, PathIdx};
 use serde::Serialize;
 
@@ -172,7 +173,7 @@ pub fn algorithm1(
 pub struct Rlb<L: ?Sized> {
     pub cfg: RlbConfig,
     pub stats: RlbStats,
-    overrides: std::collections::BTreeMap<u64, (PathIdx, u64)>,
+    overrides: FlowTable<(PathIdx, u64)>,
     inner: Box<L>,
 }
 
@@ -181,7 +182,7 @@ impl Rlb<dyn LoadBalancer> {
         Rlb {
             cfg,
             stats: RlbStats::default(),
-            overrides: std::collections::BTreeMap::new(),
+            overrides: FlowTable::new(),
             inner,
         }
     }
@@ -199,7 +200,7 @@ impl Rlb<dyn LoadBalancer> {
         // Active override: stay on the rerouted path while it is itself
         // safe and the episode hasn't expired.
         if self.cfg.sticky_reroutes {
-            if let Some(&(path, until)) = self.overrides.get(&ctx.flow_id) {
+            if let Some(&(path, until)) = self.overrides.get(ctx.flow_id) {
                 let valid = ctx.now_ps < until
                     && path < ctx.paths.len()
                     && !ctx.paths[path].warned
@@ -208,7 +209,7 @@ impl Rlb<dyn LoadBalancer> {
                     self.stats.sticky_forwards += 1;
                     return Decision::Forward(path);
                 }
-                self.overrides.remove(&ctx.flow_id);
+                self.overrides.remove(ctx.flow_id);
             }
         }
 
@@ -235,7 +236,7 @@ impl Rlb<dyn LoadBalancer> {
     }
 
     pub fn on_flow_complete(&mut self, flow_id: u64) {
-        self.overrides.remove(&flow_id);
+        self.overrides.remove(flow_id);
         self.inner.on_flow_complete(flow_id);
     }
 }

@@ -8,6 +8,9 @@
 //!   equal-seed runs replay bit-exactly. Backed by a hierarchical timing
 //!   wheel (see `wheel`); [`HeapEventQueue`] keeps the original binary-heap
 //!   implementation as the differential-test reference and bench baseline.
+//! * [`FlowTable`] — dense O(1) per-flow state storage with
+//!   `BTreeMap`-compatible deterministic iteration, for the per-packet
+//!   decision hot path in the load balancers.
 //! * [`rng`] — seed-derived independent random substreams.
 //!
 //! The engine is deliberately ignorant of packets and switches; the network
@@ -19,11 +22,13 @@
 
 pub mod queue;
 pub mod rng;
+pub mod table;
 pub mod time;
 mod wheel;
 
 pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::{substream, SimRng};
+pub use table::FlowTable;
 pub use time::{bytes_in, tx_delay, SimDuration, SimTime};
 
 #[cfg(test)]
@@ -117,6 +122,74 @@ mod proptests {
             }
             prop_assert_eq!(wheel.now(), heap.now());
             prop_assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+        }
+
+        /// Differential: `FlowTable` driven through random
+        /// insert/remove/get/sweep interleavings behaves observably
+        /// identically to a `BTreeMap` reference model — returned old
+        /// values, lookups, lengths, and full ascending-key iteration
+        /// order included. Keys mix the dense slab region with sparse
+        /// open-addressed overflow keys so both layouts are exercised.
+        #[test]
+        fn table_matches_btreemap_reference(
+            ops in proptest::collection::vec(
+                (0u8..6, 0u64..64, 0u64..1_000_000), 1..300)
+        ) {
+            use std::collections::BTreeMap;
+            let mut table: FlowTable<u64> = FlowTable::new();
+            let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+            // Map the small key index onto a mix of dense and sparse keys,
+            // with deliberate collisions (same index → same key).
+            let key_of = |i: u64| -> u64 {
+                match i % 4 {
+                    0 | 1 => i,                                   // dense, tiny
+                    2 => table::DENSE_KEY_LIMIT + i * 131,        // sparse
+                    _ => table::DENSE_KEY_LIMIT - 1 - (i / 4),    // dense, near boundary
+                }
+            };
+            for (kind, ki, val) in ops {
+                let k = key_of(ki);
+                match kind {
+                    0 | 1 => {
+                        prop_assert_eq!(table.insert(k, val), model.insert(k, val));
+                    }
+                    2 => {
+                        prop_assert_eq!(table.remove(k), model.remove(&k));
+                    }
+                    3 => {
+                        prop_assert_eq!(table.get(k), model.get(&k));
+                        prop_assert_eq!(table.contains_key(k), model.contains_key(&k));
+                    }
+                    4 => {
+                        // Mutate-through-get_mut parity.
+                        if let Some(v) = table.get_mut(k) { *v = v.wrapping_add(val); }
+                        if let Some(v) = model.get_mut(&k) { *v = v.wrapping_add(val); }
+                    }
+                    _ => {
+                        // GC sweep: drop entries below a value threshold,
+                        // age the survivors; both sides must visit the
+                        // same entries in the same (ascending key) order.
+                        let mut t_visit = Vec::new();
+                        table.retain(|key, v| {
+                            t_visit.push(key);
+                            *v = v.wrapping_add(1);
+                            *v % 3 != 0
+                        });
+                        let mut m_visit = Vec::new();
+                        model.retain(|&key, v| {
+                            m_visit.push(key);
+                            *v = v.wrapping_add(1);
+                            *v % 3 != 0
+                        });
+                        prop_assert_eq!(t_visit, m_visit);
+                    }
+                }
+                prop_assert_eq!(table.len(), model.len());
+                prop_assert_eq!(table.is_empty(), model.is_empty());
+            }
+            let got: Vec<(u64, u64)> = table.iter().map(|(k, v)| (k, *v)).collect();
+            let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
         }
 
         /// tx_delay is monotone in bytes and additive across packet splits.

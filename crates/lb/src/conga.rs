@@ -16,8 +16,7 @@
 
 use crate::api::{Ctx, LoadBalancer, PathIdx};
 use rand::Rng;
-use rlb_engine::SimRng;
-use std::collections::BTreeMap;
+use rlb_engine::{FlowTable, SimRng};
 
 /// Flowlet timeout — CONGA uses ~100–500 µs; match LetFlow's default.
 pub const DEFAULT_FLOWLET_TIMEOUT_PS: u64 = crate::letflow::DEFAULT_FLOWLET_TIMEOUT_PS;
@@ -34,7 +33,7 @@ struct FlowletEntry {
 
 pub struct Conga {
     timeout_ps: u64,
-    table: BTreeMap<u64, FlowletEntry>,
+    table: FlowTable<FlowletEntry>,
     rng: SimRng,
     pub flowlet_switches: u64,
 }
@@ -48,7 +47,7 @@ impl Conga {
         assert!(timeout_ps > 0);
         Conga {
             timeout_ps,
-            table: BTreeMap::new(),
+            table: FlowTable::new(),
             rng,
             flowlet_switches: 0,
         }
@@ -89,14 +88,14 @@ impl LoadBalancer for Conga {
 
     fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx {
         let n = ctx.paths.len();
-        if let Some(entry) = self.table.get_mut(&ctx.flow_id) {
+        if let Some(entry) = self.table.get_mut(ctx.flow_id) {
             if ctx.now_ps.saturating_sub(entry.last_seen_ps) < self.timeout_ps && entry.path < n {
                 entry.last_seen_ps = ctx.now_ps;
                 return entry.path;
             }
         }
         let path = self.best_path(ctx);
-        if self.table.contains_key(&ctx.flow_id) {
+        if self.table.contains_key(ctx.flow_id) {
             self.flowlet_switches += 1;
         }
         self.table.insert(
@@ -110,7 +109,7 @@ impl LoadBalancer for Conga {
     }
 
     fn on_flow_complete(&mut self, flow_id: u64) {
-        self.table.remove(&flow_id);
+        self.table.remove(flow_id);
     }
 }
 

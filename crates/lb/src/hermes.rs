@@ -14,9 +14,8 @@
 
 use crate::api::{Ctx, LoadBalancer, PathIdx, PathInfo};
 use rand::Rng;
-use rlb_engine::SimRng;
+use rlb_engine::{FlowTable, SimRng};
 use serde::Serialize;
-use std::collections::BTreeMap;
 
 #[derive(Debug, Clone, Serialize)]
 pub struct HermesConfig {
@@ -67,7 +66,7 @@ struct FlowState {
 
 pub struct Hermes {
     cfg: HermesConfig,
-    flows: BTreeMap<u64, FlowState>,
+    flows: FlowTable<FlowState>,
     rng: SimRng,
     pub reroutes: u64,
 }
@@ -80,7 +79,7 @@ impl Hermes {
     pub fn with_config(rng: SimRng, cfg: HermesConfig) -> Hermes {
         Hermes {
             cfg,
-            flows: BTreeMap::new(),
+            flows: FlowTable::new(),
             rng,
             reroutes: 0,
         }
@@ -146,7 +145,7 @@ impl LoadBalancer for Hermes {
 
     fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx {
         let n = ctx.paths.len();
-        match self.flows.get(&ctx.flow_id).copied() {
+        match self.flows.get(ctx.flow_id).copied() {
             None => {
                 let path = self.best_path(ctx);
                 self.flows.insert(
@@ -189,7 +188,7 @@ impl LoadBalancer for Hermes {
     }
 
     fn on_flow_complete(&mut self, flow_id: u64) {
-        self.flows.remove(&flow_id);
+        self.flows.remove(flow_id);
     }
 }
 

@@ -11,8 +11,7 @@
 
 use crate::api::{Ctx, LoadBalancer, PathIdx};
 use rand::Rng;
-use rlb_engine::SimRng;
-use std::collections::BTreeMap;
+use rlb_engine::{FlowTable, SimRng};
 
 /// Default flowlet inactivity timeout. The LetFlow paper explores tens to
 /// hundreds of microseconds; 50 µs suits a 2 µs-link 40 Gbps fabric whose
@@ -28,7 +27,7 @@ struct FlowletEntry {
 
 pub struct LetFlow {
     timeout_ps: u64,
-    table: BTreeMap<u64, FlowletEntry>,
+    table: FlowTable<FlowletEntry>,
     rng: SimRng,
     /// Flowlet switches performed (diagnostic).
     pub flowlet_switches: u64,
@@ -43,7 +42,7 @@ impl LetFlow {
         assert!(timeout_ps > 0);
         LetFlow {
             timeout_ps,
-            table: BTreeMap::new(),
+            table: FlowTable::new(),
             rng,
             flowlet_switches: 0,
         }
@@ -57,7 +56,7 @@ impl LoadBalancer for LetFlow {
 
     fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx {
         let n = ctx.paths.len();
-        match self.table.get_mut(&ctx.flow_id) {
+        match self.table.get_mut(ctx.flow_id) {
             Some(entry) if ctx.now_ps.saturating_sub(entry.last_seen_ps) < self.timeout_ps => {
                 entry.last_seen_ps = ctx.now_ps;
                 entry.path
@@ -80,7 +79,7 @@ impl LoadBalancer for LetFlow {
     }
 
     fn on_flow_complete(&mut self, flow_id: u64) {
-        self.table.remove(&flow_id);
+        self.table.remove(flow_id);
     }
 }
 

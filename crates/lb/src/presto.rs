@@ -14,7 +14,7 @@
 
 use crate::api::{Ctx, LoadBalancer, PathIdx};
 use crate::ecmp::hash64;
-use std::collections::BTreeMap;
+use rlb_engine::FlowTable;
 
 /// Default flowcell size from the Presto paper.
 pub const FLOWCELL_BYTES: u64 = 64 * 1024;
@@ -24,7 +24,7 @@ pub struct Presto {
     cell_bytes: u64,
     mtu_bytes: u64,
     /// Flow → round-robin base path offset, assigned on first packet.
-    base: BTreeMap<u64, u64>,
+    base: FlowTable<u64>,
     /// Global round-robin cursor seeding new flows' bases, per Presto's
     /// cycle-through-spines behaviour.
     cursor: u64,
@@ -40,7 +40,7 @@ impl Presto {
         Presto {
             cell_bytes,
             mtu_bytes,
-            base: BTreeMap::new(),
+            base: FlowTable::new(),
             cursor: 0,
         }
     }
@@ -59,16 +59,17 @@ impl LoadBalancer for Presto {
 
     fn select(&mut self, ctx: &Ctx<'_>) -> PathIdx {
         let n = ctx.paths.len() as u64;
-        let base = *self.base.entry(ctx.flow_id).or_insert_with(|| {
-            let b = self.cursor ^ (hash64(ctx.flow_id) % n);
-            self.cursor = (self.cursor + 1) % n;
+        let cursor = &mut self.cursor;
+        let base = *self.base.get_or_insert_with(ctx.flow_id, || {
+            let b = *cursor ^ (hash64(ctx.flow_id) % n);
+            *cursor = (*cursor + 1) % n;
             b % n
         });
         ((base + self.cell_of(ctx.seq)) % n) as usize
     }
 
     fn on_flow_complete(&mut self, flow_id: u64) {
-        self.base.remove(&flow_id);
+        self.base.remove(flow_id);
     }
 }
 

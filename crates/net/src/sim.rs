@@ -71,6 +71,16 @@ pub struct PerfStats {
     pub wall_ms: f64,
     /// Events dispatched per wall-clock second.
     pub events_per_sec: f64,
+    /// Source-leaf load-balancing decisions taken (one per data packet
+    /// leaving a leaf via the fabric, including recirculation re-decides).
+    pub decisions: u64,
+    /// Decisions served from a byte-identical cached path snapshot.
+    pub snapshot_reuses: u64,
+    /// Decisions where only the switch-local fields (queue depth, pause
+    /// bit) were refreshed in place; warnings/RTT/ECN were reused.
+    pub snapshot_refreshes: u64,
+    /// Decisions that rebuilt the path snapshot from scratch.
+    pub snapshot_rebuilds: u64,
 }
 
 /// Outcome of one run.
@@ -159,7 +169,16 @@ pub struct Simulation {
     ood_histogram: LogHistogram,
     completed: usize,
     /// Scratch buffer for per-decision path snapshots (no per-packet alloc).
+    /// Doubles as a cache: `snap_stamp` records what it currently holds.
     path_scratch: Vec<PathInfo>,
+    /// Validity stamp for the `path_scratch` snapshot (see `assemble_paths`).
+    snap_stamp: SnapStamp,
+    /// LB decisions taken at source leaves (perf telemetry).
+    perf_decisions: u64,
+    /// Snapshot-cache outcome counters (perf telemetry).
+    snap_reuses: u64,
+    snap_refreshes: u64,
+    snap_rebuilds: u64,
     /// Scratch: ingress ports that warned during one predictor tick.
     warn_scratch: Vec<u16>,
     /// Scratch: hosts to kick after a rate-increase tick (dedup per host).
@@ -180,6 +199,34 @@ pub struct Simulation {
     /// the conservation ledger is concerned.
     #[cfg(feature = "audit")]
     audit_horizon_in_flight: (u64, u64),
+}
+
+/// What the `path_scratch` snapshot currently describes, and until when it
+/// can be trusted. A snapshot for (leaf, dst_leaf) stays byte-identical
+/// while the leaf switch's egress generation (`Switch::snap_gen`) and the
+/// leaf's signal generation (`LeafState::sig_gen`) both hold still and no
+/// active warning crosses its expiry boundary (`valid_until_ps` — warnings
+/// decay by pure passage of time, bumping no counter).
+#[derive(Debug, Clone, Copy)]
+struct SnapStamp {
+    leaf: u32,
+    dst_leaf: u32,
+    queue_gen: u64,
+    sig_gen: u64,
+    valid_until_ps: u64,
+}
+
+impl SnapStamp {
+    /// A stamp matching no real leaf: the first decision always rebuilds.
+    fn invalid() -> SnapStamp {
+        SnapStamp {
+            leaf: u32::MAX,
+            dst_leaf: u32::MAX,
+            queue_gen: 0,
+            sig_gen: 0,
+            valid_until_ps: 0,
+        }
+    }
 }
 
 /// Encode a switch identity into the CNM origin field.
@@ -326,6 +373,11 @@ impl Simulation {
             ood_histogram: LogHistogram::new(),
             completed: 0,
             path_scratch: Vec::with_capacity(n_spines as usize),
+            snap_stamp: SnapStamp::invalid(),
+            perf_decisions: 0,
+            snap_reuses: 0,
+            snap_refreshes: 0,
+            snap_rebuilds: 0,
             warn_scratch: Vec::new(),
             host_kick_scratch: vec![false; n_hosts as usize],
             alpha_tick_armed: false,
@@ -418,6 +470,10 @@ impl Simulation {
             } else {
                 0.0
             },
+            decisions: self.perf_decisions,
+            snapshot_reuses: self.snap_reuses,
+            snapshot_refreshes: self.snap_refreshes,
+            snapshot_rebuilds: self.snap_rebuilds,
         };
         let end_time = self.now();
         let groups: Vec<u64> = self.flows.iter().map(|f| f.spec.group).collect();
@@ -888,6 +944,7 @@ impl Simulation {
                     self.topo.leaf_port_of_host(pkt.dst_host)
                 } else {
                     // --- the load-balancing decision point ---
+                    self.perf_decisions += 1;
                     self.assemble_paths(l, dst_leaf);
                     let paths = std::mem::take(&mut self.path_scratch);
                     // Path-restricted flows (Fig. 4a's experimental control)
@@ -911,8 +968,9 @@ impl Simulation {
                             LbInstance::Rlb(rlb) => rlb.decide(&ctx, pkt.recircs as u32),
                         }
                     };
+                    // Hand the snapshot back *without* clearing: it stays
+                    // valid for the next decision until its stamp expires.
                     self.path_scratch = paths;
-                    self.path_scratch.clear();
                     match decision {
                         Decision::Forward(s) => {
                             pkt.path = s as u8;
@@ -983,26 +1041,84 @@ impl Simulation {
     }
 
     /// Snapshot every uplink's state for the LB decision.
+    ///
+    /// Incremental: the snapshot left in `path_scratch` by the previous
+    /// decision is stamped (`snap_stamp`) with the generation counters it
+    /// was built from, and three tiers apply, cheapest first:
+    ///
+    /// 1. *Reuse* — same (leaf, dst_leaf), both generations unchanged, no
+    ///    warning expired: the snapshot is byte-identical, return as-is.
+    /// 2. *Refresh* — signals (warned/rtt/ecn) unchanged but the egress
+    ///    queues moved: rewrite only `queue_bytes`/`paused` in place,
+    ///    skipping the per-spine warning probe and estimator reads.
+    /// 3. *Rebuild* — anything else: reconstruct from scratch.
+    ///
+    /// Every field source is covered by a stamp input — `data_q_bytes` and
+    /// `paused` by `Switch::snap_gen`, `rtt_ns`/`ecn_fraction` and warning
+    /// *insertions* by `LeafState::sig_gen`, warning *expiry* (time-based,
+    /// bumps nothing) by `valid_until_ps`, and `link_rate_bps` is fixed at
+    /// construction — so a reused snapshot equals what a rebuild would
+    /// produce and replays stay bit-exact.
     fn assemble_paths(&mut self, leaf: u32, dst_leaf: u32) {
         let now_ps = self.now().as_ps();
         let n_spines = self.cfg.topo.n_spines;
         let hpl = self.cfg.topo.hosts_per_leaf;
         let rlb_on = self.cfg.rlb.is_some();
-        self.path_scratch.clear();
         let sw = &self.leaves[leaf as usize];
         let ls = sw.leaf.as_ref().expect("leaf state");
+        let st = self.snap_stamp;
+        if st.leaf == leaf
+            && st.dst_leaf == dst_leaf
+            && st.sig_gen == ls.sig_gen
+            && now_ps < st.valid_until_ps
+            && self.path_scratch.len() == n_spines as usize
+        {
+            if st.queue_gen == sw.snap_gen {
+                self.snap_reuses += 1;
+                return;
+            }
+            for (s, p) in self.path_scratch.iter_mut().enumerate() {
+                let ep = &sw.egress[hpl as usize + s];
+                p.queue_bytes = ep.data_q_bytes;
+                p.paused = ep.paused;
+            }
+            self.snap_stamp.queue_gen = sw.snap_gen;
+            self.snap_refreshes += 1;
+            return;
+        }
+        self.snap_rebuilds += 1;
+        self.path_scratch.clear();
+        // First instant at which a currently-armed warning lapses; the
+        // snapshot's warned bits go stale there. Unwarned paths can only
+        // *become* warned through warn_* calls, which bump sig_gen.
+        let mut valid_until = u64::MAX;
         for s in 0..n_spines {
             let port = (hpl + s) as usize;
             let ep = &sw.egress[port];
+            let mut warned = false;
+            if rlb_on {
+                let until = ls.warnings.warned_until(s as usize, dst_leaf as usize);
+                if until > now_ps {
+                    warned = true;
+                    valid_until = valid_until.min(until);
+                }
+            }
             self.path_scratch.push(PathInfo {
                 queue_bytes: ep.data_q_bytes,
                 paused: ep.paused,
-                warned: rlb_on && ls.warnings.is_warned(s as usize, dst_leaf as usize, now_ps),
+                warned,
                 rtt_ns: ls.rtt(s as usize, dst_leaf as usize),
                 ecn_fraction: ls.ecn(s as usize, dst_leaf as usize),
                 link_rate_bps: ep.rate_bps as f64,
             });
         }
+        self.snap_stamp = SnapStamp {
+            leaf,
+            dst_leaf,
+            queue_gen: sw.snap_gen,
+            sig_gen: ls.sig_gen,
+            valid_until_ps: valid_until,
+        };
     }
 
     fn try_transmit(&mut self, node: Node, port: u16) {
@@ -1114,8 +1230,10 @@ impl Simulation {
                     if pause && !was {
                         ep.paused = true;
                         ep.paused_since_ps = now_ps;
+                        sw.snap_gen = sw.snap_gen.wrapping_add(1);
                     } else if !pause && was {
                         ep.paused = false;
+                        sw.snap_gen = sw.snap_gen.wrapping_add(1);
                     }
                     was
                 };
@@ -1282,6 +1400,7 @@ impl Simulation {
                         if let Some(s) = self.topo.spine_of_leaf_port(origin_port) {
                             if dst_leaf != l {
                                 ls.warnings.warn_path(s as usize, dst_leaf as usize, until);
+                                ls.sig_gen = ls.sig_gen.wrapping_add(1);
                             }
                         }
                     }
@@ -1291,11 +1410,13 @@ impl Simulation {
                         // then every path through s from here is endangered.
                         if origin_port as u32 == l {
                             ls.warnings.warn_uplink(s as usize, until);
+                            ls.sig_gen = ls.sig_gen.wrapping_add(1);
                         } else if s == via_spine {
                             // Another leaf overloads this spine's ingress;
                             // its egress toward our destinations may still
                             // pause. Treat as a mild uplink warning too.
                             ls.warnings.warn_uplink(s as usize, until);
+                            ls.sig_gen = ls.sig_gen.wrapping_add(1);
                         }
                     }
                     Node::Host(_) => {}

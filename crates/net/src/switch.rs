@@ -45,6 +45,10 @@ pub struct LeafState {
     pub rtt_ns: Vec<f64>,
     /// EWMA ECN-mark fraction, same indexing.
     pub ecn_frac: Vec<f64>,
+    /// Signal generation: bumped whenever an estimator sample or a warning
+    /// insertion could change a `PathInfo`'s warned/rtt/ecn fields. Read by
+    /// the simulator's path-snapshot cache (see `Simulation::assemble_paths`).
+    pub sig_gen: u64,
     n_leaves: usize,
 }
 
@@ -70,6 +74,7 @@ impl LeafState {
             warnings: WarningTable::new(n_spines, n_leaves),
             rtt_ns: vec![base_rtt_ns; n_spines * n_leaves],
             ecn_frac: vec![0.0; n_spines * n_leaves],
+            sig_gen: 0,
             n_leaves,
         }
     }
@@ -90,6 +95,7 @@ impl LeafState {
         let i = self.idx(spine, dst_leaf);
         self.rtt_ns[i] = (1.0 - A) * self.rtt_ns[i] + A * rtt_ns;
         self.ecn_frac[i] = (1.0 - A) * self.ecn_frac[i] + A * if ecn { 1.0 } else { 0.0 };
+        self.sig_gen = self.sig_gen.wrapping_add(1);
     }
 
     pub fn rtt(&self, spine: usize, dst_leaf: usize) -> f64 {
@@ -143,6 +149,10 @@ pub struct Switch {
     pub contributors: ContributorTable,
     /// Leaf-only state.
     pub leaf: Option<LeafState>,
+    /// Egress-queue generation: bumped whenever a data packet enters or
+    /// leaves an egress FIFO, or an egress port's pause state toggles —
+    /// exactly the switch-local changes a `PathInfo` snapshot depends on.
+    pub snap_gen: u64,
     cfg: SwitchConfig,
     rng: SimRng,
     pub drops: u64,
@@ -174,6 +184,7 @@ impl Switch {
             sampler_tick_armed: false,
             contributors: ContributorTable::new(n_ports, contributor_window_ps),
             leaf: None,
+            snap_gen: 0,
             cfg,
             rng,
             drops: 0,
@@ -258,6 +269,7 @@ impl Switch {
         } else {
             ep.data_q_bytes += pkt.size_bytes as u64;
             ep.data_q.push_back(pkt);
+            self.snap_gen = self.snap_gen.wrapping_add(1);
         }
     }
 
@@ -275,6 +287,7 @@ impl Switch {
         }
         let pkt = ep.data_q.pop_front()?;
         ep.data_q_bytes -= pkt.size_bytes as u64;
+        self.snap_gen = self.snap_gen.wrapping_add(1);
         Some(pkt)
     }
 

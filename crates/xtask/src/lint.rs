@@ -23,6 +23,11 @@
 //! |                 |          | the dispatch loop is the per-event hot path    |
 //! |                 |          | and deep-copying payloads there undoes the     |
 //! |                 |          | engine's allocation-free design                |
+//! | `hot-btreemap`  | warning  | `BTreeMap` in the library code of `crates/lb`  |
+//! |                 |          | and `crates/core` — per-flow state there sits  |
+//! |                 |          | on the per-packet decision path and belongs in |
+//! |                 |          | `rlb_engine::FlowTable` (dense slab + sorted   |
+//! |                 |          | sparse map, same deterministic iteration)      |
 //!
 //! Scope rules: `vendor/` and `target/` are never scanned; `crates/bench`
 //! is exempt from everything (it times and explores, it is not replayed);
@@ -71,6 +76,7 @@ pub enum Rule {
     UnseededRng,
     LibUnwrap,
     HotClone,
+    HotBtreemap,
 }
 
 impl Rule {
@@ -81,12 +87,15 @@ impl Rule {
             Rule::UnseededRng => "unseeded-rng",
             Rule::LibUnwrap => "lib-unwrap",
             Rule::HotClone => "hot-clone",
+            Rule::HotBtreemap => "hot-btreemap",
         }
     }
 
     pub fn severity(self) -> Severity {
         match self {
-            Rule::HashContainer | Rule::LibUnwrap | Rule::HotClone => Severity::Warning,
+            Rule::HashContainer | Rule::LibUnwrap | Rule::HotClone | Rule::HotBtreemap => {
+                Severity::Warning
+            }
             Rule::WallClock | Rule::UnseededRng => Severity::Error,
         }
     }
@@ -98,6 +107,7 @@ impl Rule {
             Rule::UnseededRng => &["thread_rng", "from_entropy", "rand::random"],
             Rule::LibUnwrap => &[".unwrap()"],
             Rule::HotClone => &[".clone()"],
+            Rule::HotBtreemap => &["BTreeMap"],
         }
     }
 
@@ -123,16 +133,22 @@ impl Rule {
                 "the dispatch loop runs once per event; move the payload \
                  instead of cloning it, or hoist the copy out of the hot path"
             }
+            Rule::HotBtreemap => {
+                "per-flow state in lb/core is touched once per packet; use \
+                 `rlb_engine::FlowTable` — same deterministic key-order \
+                 iteration, dense O(1) access instead of O(log n) tree walks"
+            }
         }
     }
 }
 
-const ALL_RULES: [Rule; 5] = [
+const ALL_RULES: [Rule; 6] = [
     Rule::HashContainer,
     Rule::WallClock,
     Rule::UnseededRng,
     Rule::LibUnwrap,
     Rule::HotClone,
+    Rule::HotBtreemap,
 ];
 
 /// What kind of file is being scanned — decides which rules apply.
@@ -420,6 +436,13 @@ pub fn lint_source(file: &str, source: &str, class: FileClass) -> Vec<Finding> {
                 // Scoped to the dispatch loop's file: cloning a config at
                 // setup elsewhere is fine, cloning a packet per event is not.
                 Rule::HotClone => file.ends_with("net/src/sim.rs") && hot_clone_hit(code),
+                // Scoped to the two crates whose per-flow tables sit on the
+                // decision path; a BTreeMap in net's run-summary plumbing or
+                // in engine's reference-model tests is not a hot structure.
+                Rule::HotBtreemap => {
+                    (file.starts_with("crates/lb/src") || file.starts_with("crates/core/src"))
+                        && rule.patterns().iter().any(|p| code.contains(p))
+                }
                 _ => rule.patterns().iter().any(|p| code.contains(p)),
             };
             if hit {
@@ -582,6 +605,35 @@ mod tests {
     }
 
     #[test]
+    fn hot_btreemap_flags_lb_and_core_lib_code_only() {
+        let bad = "use std::collections::BTreeMap;\nstruct Lb { table: BTreeMap<u64, Entry> }\n";
+        for file in ["crates/lb/src/letflow.rs", "crates/core/src/reroute.rs"] {
+            assert_eq!(
+                lint_source(file, bad, FileClass::CoreLib)
+                    .into_iter()
+                    .map(|f| f.rule)
+                    .collect::<Vec<_>>(),
+                vec![Rule::HotBtreemap, Rule::HotBtreemap],
+                "should flag in {file}"
+            );
+        }
+        // Outside the scoped crates the same code is not a hot structure.
+        for file in ["crates/net/src/sim.rs", "crates/engine/src/table.rs"] {
+            assert!(
+                lint_source(file, bad, FileClass::CoreLib).is_empty(),
+                "should not flag in {file}"
+            );
+        }
+        // Warning severity: test modules are exempt like hash-container.
+        let in_test = "#[cfg(test)]\nmod tests {\n    use std::collections::BTreeMap;\n}\n";
+        assert!(lint_source("crates/lb/src/letflow.rs", in_test, FileClass::CoreLib).is_empty());
+        // Escape hatch works like every other rule.
+        let allowed =
+            "let m: BTreeMap<u64, u64> = x; // lint:allow(hot-btreemap) range queries needed\n";
+        assert!(lint_source("crates/core/src/reroute.rs", allowed, FileClass::CoreLib).is_empty());
+    }
+
+    #[test]
     fn bench_is_exempt() {
         let src = "fn f() { let t = Instant::now(); let mut r = rand::thread_rng(); }\n";
         assert!(rules_found(src, FileClass::Bench).is_empty());
@@ -652,6 +704,7 @@ fn g() {}
         assert_eq!(Rule::HashContainer.severity(), Severity::Warning);
         assert_eq!(Rule::LibUnwrap.severity(), Severity::Warning);
         assert_eq!(Rule::HotClone.severity(), Severity::Warning);
+        assert_eq!(Rule::HotBtreemap.severity(), Severity::Warning);
         assert_eq!(Rule::WallClock.severity(), Severity::Error);
         assert_eq!(Rule::UnseededRng.severity(), Severity::Error);
     }

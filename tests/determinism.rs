@@ -81,6 +81,25 @@ fn identical_seeds_produce_identical_runs() {
     assert_eq!(a, b, "same config + seed must reproduce bit-for-bit");
 }
 
+/// Same property through RLB wrapping a *stateful flowlet* scheme: LetFlow
+/// keeps a per-flow table (now a `FlowTable`) and draws from its RNG only
+/// on flowlet boundaries, and the RLB override table rides on top — so this
+/// covers the dense flow-state tables and the generation-stamped snapshot
+/// cache on a path where flowlet timeouts, reroutes and per-flow overrides
+/// all churn the state that the cache stamps guard.
+#[test]
+fn identical_seeds_identical_runs_rlb_letflow() {
+    let mk = || motivation(&pfc_heavy_scenario(7), Scheme::LetFlow, Some(RlbConfig::default()));
+    let a = digest(&mk().run());
+    let b = digest(&mk().run());
+    assert!(a.pause_frames > 0, "scenario must exercise PFC");
+    assert!(
+        a.recirculations > 0 || a.cnm_generated > 0,
+        "RLB machinery must be active"
+    );
+    assert_eq!(a, b, "RLB+LetFlow must reproduce bit-for-bit");
+}
+
 /// The per-port ledger and the aggregate counter are two views of the same
 /// events and must always agree.
 #[test]

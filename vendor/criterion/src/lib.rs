@@ -5,8 +5,35 @@
 //! benches to compile and run without network access. Measurement is a
 //! simple calibrated wall-clock loop printing ns/iter — adequate for
 //! relative comparisons, with none of upstream's statistical machinery.
+//!
+//! Two upstream CLI behaviors are honoured (everything else is ignored):
+//! positional args are substring filters on the benchmark id, and
+//! `--test` runs each selected routine once to check it executes,
+//! without timing it — what CI's smoke job relies on.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+struct Cli {
+    filters: Vec<String>,
+    test_mode: bool,
+}
+
+fn cli() -> &'static Cli {
+    static CLI: OnceLock<Cli> = OnceLock::new();
+    CLI.get_or_init(|| {
+        let mut filters = Vec::new();
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') {
+                filters.push(arg);
+            }
+        }
+        Cli { filters, test_mode }
+    })
+}
 
 /// Opaque value barrier — defeats constant folding across the call.
 #[inline]
@@ -48,6 +75,21 @@ impl Criterion {
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let cli = cli();
+        if !cli.filters.is_empty() && !cli.filters.iter().any(|p| id.contains(p)) {
+            return self;
+        }
+        if cli.test_mode {
+            let mut b = Bencher {
+                budget: Duration::ZERO,
+                warm_up: Duration::ZERO,
+                samples: 0,
+                best_ns: f64::INFINITY,
+            };
+            f(&mut b);
+            println!("test bench {id} ... ok");
+            return self;
+        }
         let mut b = Bencher {
             budget: self.measurement_time,
             warm_up: self.warm_up_time,
@@ -102,6 +144,11 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // --test: execute once to prove the routine runs; no timing.
+        if self.samples == 0 {
+            black_box(routine());
+            return;
+        }
         // Warm-up + calibration: find an iteration count that runs long
         // enough to swamp timer resolution.
         let warm_deadline = Instant::now() + self.warm_up;
