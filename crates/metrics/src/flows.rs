@@ -134,7 +134,7 @@ impl FctSummary {
 /// at every completed-flow sample point.
 pub fn fct_cdf(records: &[FlowRecord]) -> Vec<(f64, f64)> {
     let mut fcts: Vec<f64> = records.iter().filter_map(|r| r.fct_ms()).collect();
-    fcts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    fcts.sort_by(f64::total_cmp);
     let n = fcts.len() as f64;
     fcts.iter()
         .enumerate()

@@ -19,7 +19,7 @@ pub mod table;
 pub use counters::FabricCounters;
 pub use flows::{downsample_cdf, fct_cdf, slowdown_summary, FctSummary, FlowRecord};
 pub use histogram::LogHistogram;
-pub use stats::{mean, percentile, percentile_of_sorted, OnlineStats};
+pub use stats::{kahan_sum, mean, percentile, percentile_of_sorted, OnlineStats};
 pub use table::{ms, pct, Table};
 
 #[cfg(test)]

@@ -102,7 +102,7 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+    sorted.sort_by(f64::total_cmp);
     percentile_of_sorted(&sorted, q)
 }
 
@@ -118,12 +118,32 @@ pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Convenience: mean of a slice (NaN when empty).
+/// Compensated (Kahan-Babuska/Neumaier) summation in slice order.
+///
+/// The error of a naive left-to-right `sum::<f64>()` grows with the number
+/// of samples and depends on the order they arrive in — which is exactly
+/// what parallel sweeps perturb. Kahan summation carries the rounding
+/// residual in a second accumulator, making the result deterministic for a
+/// given slice order and accurate to within a couple of ulps regardless of
+/// length. All aggregate reporting should funnel through this (the
+/// `float-accum` lint in `cargo xtask lint` points here).
+pub fn kahan_sum(samples: &[f64]) -> f64 {
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    for &x in samples {
+        let t = sum + x;
+        comp += if sum.abs() >= x.abs() { (sum - t) + x } else { (x - t) + sum };
+        sum = t;
+    }
+    sum + comp
+}
+
+/// Convenience: mean of a slice (NaN when empty). Compensated summation.
 pub fn mean(samples: &[f64]) -> f64 {
     if samples.is_empty() {
         return f64::NAN;
     }
-    samples.iter().sum::<f64>() / samples.len() as f64
+    kahan_sum(samples) / samples.len() as f64
 }
 
 #[cfg(test)]
@@ -208,5 +228,32 @@ mod tests {
     fn percentile_handles_unsorted_input() {
         assert_eq!(percentile(&[5.0, 1.0, 3.0], 1.0), 5.0);
         assert_eq!(percentile(&[5.0, 1.0, 3.0], 0.34), 3.0);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_samples() {
+        // total_cmp sorts NaN to the top instead of panicking; real samples
+        // still land at the right ranks.
+        let xs = [2.0, f64::NAN, 1.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert!(percentile(&xs, 1.0).is_nan());
+    }
+
+    #[test]
+    fn kahan_sum_recovers_cancellation() {
+        // Naive left-to-right summation loses the 1.0 entirely:
+        // 1e16 + 1.0 == 1e16 in f64. The compensated sum keeps it.
+        let xs = [1e16, 1.0, -1e16];
+        assert_eq!(xs.iter().sum::<f64>(), 0.0); // lint:allow(float-accum)
+        assert_eq!(kahan_sum(&xs), 1.0);
+    }
+
+    #[test]
+    fn kahan_sum_matches_naive_on_benign_input() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 7) as f64 * 0.125).collect();
+        let naive: f64 = xs.iter().sum(); // lint:allow(float-accum)
+        assert_eq!(kahan_sum(&xs), naive);
+        assert_eq!(kahan_sum(&[]), 0.0);
     }
 }

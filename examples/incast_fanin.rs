@@ -8,7 +8,7 @@
 
 use rlb::core::RlbConfig;
 use rlb::lb::Scheme;
-use rlb::metrics::{ms, pct, Table};
+use rlb::metrics::{mean, ms, pct, Table};
 use rlb::net::scenario::{incast_scenario, IncastScenarioConfig};
 
 fn main() {
@@ -30,7 +30,8 @@ fn main() {
             };
             let res = incast_scenario(&cfg, Scheme::Presto, rlb).run();
             let groups = res.group_completion_ms();
-            let ict = groups.iter().map(|(_, t)| t).sum::<f64>() / groups.len().max(1) as f64;
+            let times: Vec<f64> = groups.iter().map(|(_, t)| *t).collect();
+            let ict = mean(&times);
             table.row(vec![
                 degree.to_string(),
                 label.to_string(),

@@ -191,7 +191,8 @@ fn main() {
 
     let icts = res.group_completion_ms();
     if !icts.is_empty() {
-        let avg = icts.iter().map(|(_, v)| v).sum::<f64>() / icts.len() as f64;
+        let times: Vec<f64> = icts.iter().map(|(_, v)| *v).collect();
+        let avg = rlb::metrics::mean(&times);
         println!("incast completion time (avg over {} requests): {:.3} ms", icts.len(), avg);
     }
 
