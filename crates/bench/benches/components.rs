@@ -161,7 +161,7 @@ fn bench_algorithm1(c: &mut Criterion) {
             warned: i % 3 == 0,
             rtt_ns: 10_000.0 + i as f64 * 500.0,
             queue_bytes: (i * 10_000) as u64,
-            ..PathInfo::idle()
+            ..PathInfo::default()
         })
         .collect();
     let ctx = Ctx {
@@ -183,7 +183,7 @@ fn bench_lb_selection(c: &mut Criterion) {
         .map(|i| PathInfo {
             rtt_ns: 10_000.0 + i as f64 * 100.0,
             queue_bytes: (i * 5_000) as u64,
-            ..PathInfo::idle()
+            ..PathInfo::default()
         })
         .collect();
     let mut group = c.benchmark_group("lb/select_12paths");

@@ -20,7 +20,7 @@ use rlb_core::{RlbConfig, SuboptimalPolicy};
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
 use rlb_metrics::{ms, Table};
-use rlb_net::scenario::{motivation, MotivationConfig};
+use rlb_net::scenario::{MotivationConfig, Scenario};
 
 fn main() {
     let cli = BenchCli::parse_or_exit(
@@ -92,7 +92,7 @@ fn main() {
         "unwarned",
     ]);
     for (label, rlb) in variants {
-        let row: RunRow = run_variant(label.to_string(), motivation(&mc, Scheme::Drill, rlb));
+        let row: RunRow = run_variant(label.to_string(), Scenario::motivation(&mc, Scheme::Drill, rlb));
         table.row(vec![
             label.to_string(),
             ms(row.background.avg_fct_ms),

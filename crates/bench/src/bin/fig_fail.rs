@@ -1,0 +1,14 @@
+//! Regenerates fig_fail: the failure sweep the paper never ran.
+use rlb_bench::cli::BenchCli;
+use rlb_bench::drive::drive;
+
+fn main() {
+    let cli = BenchCli::parse_or_exit(
+        "fig_fail",
+        "fig_fail — FCT and reordering vs. number of failed links (not in the paper)",
+    );
+    if let Err(e) = drive(&cli, Some(&["fig_fail"])) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,7 @@ use rlb_core::RlbConfig;
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
 use rlb_metrics::{ms, FctSummary, Table};
-use rlb_net::scenario::{motivation, MotivationConfig, BACKGROUND_GROUP};
+use rlb_net::scenario::{MotivationConfig, Scenario, BACKGROUND_GROUP};
 use rlb_net::TransportMode;
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
     ];
 
     for (label, pfc, mode, rlb) in cases {
-        let mut sc = motivation(&mc, Scheme::Drill, rlb);
+        let mut sc = Scenario::motivation(&mc, Scheme::Drill, rlb);
         sc.cfg.switch.pfc_enabled = pfc;
         sc.cfg.transport.mode = mode;
         let res = sc.run();

@@ -12,7 +12,7 @@ use rlb_core::RlbConfig;
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
 use rlb_metrics::{ms, FctSummary, Table};
-use rlb_net::scenario::{motivation, MotivationConfig, BACKGROUND_GROUP};
+use rlb_net::scenario::{MotivationConfig, Scenario, BACKGROUND_GROUP};
 
 fn main() {
     let cli = BenchCli::parse_or_exit(
@@ -41,7 +41,7 @@ fn main() {
         ("PFC, DRILL", true, None),
         ("PFC, DRILL+RLB", true, Some(RlbConfig::default())),
     ] {
-        let mut sc = motivation(&mc, Scheme::Drill, rlb);
+        let mut sc = Scenario::motivation(&mc, Scheme::Drill, rlb);
         sc.cfg.switch.pfc_enabled = pfc;
         let t0 = std::time::Instant::now();
         let res = sc.run();

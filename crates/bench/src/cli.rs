@@ -26,6 +26,9 @@ pub struct BenchCli {
     pub cache_dir: PathBuf,
     /// Figure subset (`--figs fig3,fig7`); `None` = the binary's default.
     pub figs: Option<Vec<String>>,
+    /// Run a declarative scenario spec file (`--scenario PATH`) through
+    /// the cached runner instead of registry figures.
+    pub scenario: Option<PathBuf>,
     /// Dump per-variant CDK/CDF series where a figure provides them.
     pub cdf: bool,
     /// Omit wall-clock and cache fields from the JSON report so repeated
@@ -43,6 +46,7 @@ impl Default for BenchCli {
             no_cache: false,
             cache_dir: runner::default_cache_dir(),
             figs: None,
+            scenario: None,
             cdf: false,
             stable_json: false,
         }
@@ -121,6 +125,9 @@ impl BenchCli {
                     }
                     cli.figs = Some(names);
                 }
+                "--scenario" => {
+                    cli.scenario = Some(PathBuf::from(value("--scenario", &mut it)?))
+                }
                 "--cdf" => cli.cdf = true,
                 "--stable-json" => cli.stable_json = true,
                 other => {
@@ -172,6 +179,9 @@ FLAGS:
                          (default: target/bench-cache)
     --figs a,b           Run only these figures (registry names, e.g.
                          fig3,fig7); binaries tied to one figure ignore it
+    --scenario PATH      Run a declarative scenario spec file (see
+                         EXPERIMENTS.md for the format) through the cached
+                         runner instead of registry figures
     --cdf                Also dump FCT CDF series where available (fig6)
     --stable-json        Omit wall-clock/cache fields from the JSON report
                          so repeated runs are byte-identical
@@ -201,6 +211,7 @@ mod tests {
         assert!(cli.jobs.is_none() && cli.json.is_none() && !cli.no_cache);
         assert_eq!(cli.cache_dir, runner::default_cache_dir());
         assert!(cli.figs.is_none() && !cli.cdf && !cli.stable_json);
+        assert!(cli.scenario.is_none());
     }
 
     #[test]
@@ -218,6 +229,8 @@ mod tests {
             "/tmp/c",
             "--figs",
             "fig3, fig7",
+            "--scenario",
+            "specs/outage.toml",
             "--cdf",
             "--stable-json",
         ])
@@ -234,6 +247,10 @@ mod tests {
             cli.figs,
             Some(vec!["fig3".to_string(), "fig7".to_string()])
         );
+        assert_eq!(
+            cli.scenario.as_deref(),
+            Some(std::path::Path::new("specs/outage.toml"))
+        );
         assert!(cli.cdf && cli.stable_json);
         // --no-cache wins over --cache-dir in the runner config.
         assert!(cli.runner_config(false).cache_dir.is_none());
@@ -244,6 +261,9 @@ mod tests {
         assert!(parse(&["--seeds"]).expect_err("missing").contains("--seeds"));
         assert!(parse(&["--seeds", "0"]).expect_err("zero").contains("positive"));
         assert!(parse(&["--jobs", "x"]).expect_err("nan").contains("--jobs"));
+        assert!(parse(&["--scenario"])
+            .expect_err("missing")
+            .contains("--scenario"));
         assert!(parse(&["--bogus"]).expect_err("unknown").contains("--bogus"));
         assert!(parse(&["--figs", ","]).expect_err("empty").contains("--figs"));
     }
@@ -262,6 +282,7 @@ mod tests {
             "--no-cache",
             "--cache-dir",
             "--figs",
+            "--scenario",
             "--stable-json",
         ] {
             assert!(text.contains(flag), "help must document {flag}");

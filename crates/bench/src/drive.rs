@@ -5,9 +5,12 @@
 //! `BENCH_<fig>_<scale>.json` report.
 
 use crate::cli::BenchCli;
+use crate::figures::common::run_metrics;
 use crate::figures::{by_name, registry, Figure, FigureReport};
 use crate::json::Json;
-use crate::runner::{run_jobs, JobOutcome, RunSummary, CACHE_SCHEMA_VERSION};
+use crate::runner::{run_jobs, Job, JobOutcome, RunSummary, CACHE_SCHEMA_VERSION};
+use rlb_net::ScenarioSpec;
+use std::path::Path;
 
 /// Resolve the figure list: `--figs` wins, then the binary's default
 /// subset, then the whole registry. Unknown names are an error listing
@@ -45,6 +48,10 @@ pub fn drive(
     cli: &BenchCli,
     default_figs: Option<&[&str]>,
 ) -> Result<Vec<(&'static dyn Figure, FigureReport)>, String> {
+    if let Some(path) = cli.scenario.clone() {
+        drive_scenario(cli, &path)?;
+        return Ok(Vec::new());
+    }
     let figures = resolve_figures(cli, default_figs)?;
     let offsets = cli.seed_offsets();
 
@@ -88,6 +95,85 @@ pub fn drive(
         println!("wrote {}", path.display());
     }
     Ok(reports)
+}
+
+/// Expand a parsed spec into runner jobs, one per seed offset. The job's
+/// cache identity is the canonical spec text (seed included), so editing
+/// any field of the file — or bumping the seed — re-keys the point while
+/// untouched specs stay warm in the cache.
+pub fn scenario_jobs(spec: &ScenarioSpec, offsets: &[u64]) -> Result<Vec<Job>, String> {
+    // Surface semantic errors (bad topology ranges, unsorted timelines)
+    // before any job runs.
+    spec.build()
+        .map_err(|e| format!("scenario `{}`: {e}", spec.label()))?;
+    let mut jobs = Vec::new();
+    for &offset in offsets {
+        let mut s = spec.clone();
+        s.seed += offset;
+        jobs.push(Job {
+            fig: "scenario",
+            label: s.label(),
+            seed: s.seed,
+            spec: s.to_spec_text(),
+            run: Box::new(move || {
+                let sc = s.build().expect("spec validated before job expansion");
+                run_metrics(s.label(), sc, vec![("seed", Json::U64(s.seed))])
+            }),
+        });
+    }
+    Ok(jobs)
+}
+
+/// `--scenario PATH`: parse + validate the spec file (span-quality errors
+/// verbatim from the parser), run it through the cached runner, print a
+/// summary table, and honor `--json`/`--stable-json` like any figure run.
+pub fn drive_scenario(cli: &BenchCli, path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read scenario spec {}: {e}", path.display()))?;
+    let spec =
+        ScenarioSpec::parse(&text).map_err(|e| format!("in {}:\n{e}", path.display()))?;
+    let jobs = scenario_jobs(&spec, &cli.seed_offsets())?;
+    let summary = run_jobs(jobs, &cli.runner_config(true))?;
+
+    let mut t = rlb_metrics::Table::new(vec![
+        "scenario",
+        "seed",
+        "flows",
+        "avg_fct_ms",
+        "p99_fct_ms",
+        "ooo_packets",
+        "faults_applied",
+    ]);
+    let num = |o: &JobOutcome, p: &[&str]| {
+        o.metrics.path(p).and_then(Json::as_f64).unwrap_or(f64::NAN)
+    };
+    for o in &summary.outcomes {
+        t.row(vec![
+            o.label.clone(),
+            o.seed.to_string(),
+            format!("{:.0}", num(o, &["all", "flows_total"])),
+            rlb_metrics::ms(num(o, &["all", "avg_fct_ms"])),
+            rlb_metrics::ms(num(o, &["all", "p99_fct_ms"])),
+            rlb_metrics::pct(num(o, &["all", "ooo_ratio"])),
+            format!("{:.0}", num(o, &["counters", "faults_applied"])),
+        ]);
+    }
+    println!("scenario {} ({})\n{}", spec.label(), path.display(), t.render());
+    println!(
+        "{} point(s): {} executed, {} cached, {:.1}s wall",
+        summary.outcomes.len(),
+        summary.executed,
+        summary.cache_hits,
+        summary.total_wall_ms / 1e3
+    );
+
+    if let Some(out) = &cli.json {
+        let report = build_report(cli, &[], &summary);
+        std::fs::write(out, report.pretty())
+            .map_err(|e| format!("cannot write report {}: {e}", out.display()))?;
+        println!("wrote {}", out.display());
+    }
+    Ok(())
 }
 
 fn point_json(o: &JobOutcome, stable: bool) -> Json {

@@ -166,6 +166,7 @@ fn counters_json(c: &FabricCounters) -> Json {
         ("buffer_drops", Json::U64(c.buffer_drops)),
         ("switch_packets", Json::U64(c.switch_packets)),
         ("ecn_marks", Json::U64(c.ecn_marks)),
+        ("faults_applied", Json::U64(c.faults_applied)),
     ])
 }
 

@@ -14,7 +14,7 @@ use rlb_core::RlbConfig;
 use rlb_engine::{SimDuration, SimTime};
 use rlb_lb::Scheme;
 use rlb_metrics::Table;
-use rlb_net::scenario::{motivation, steady_state, MotivationConfig, SteadyStateConfig};
+use rlb_net::scenario::{MotivationConfig, Scenario, SteadyStateConfig};
 use rlb_net::TopoConfig;
 use rlb_workloads::Workload;
 
@@ -90,7 +90,7 @@ fn steady_job(
         run: Box::new(move || {
             run_metrics(
                 format!("DRILL+RLB {param}"),
-                steady_state(&sc, Scheme::Drill, Some(rlb.clone())),
+                Scenario::steady_state(&sc, Scheme::Drill, Some(rlb.clone())),
                 vec![
                     ("part", Json::Str(part.to_string())),
                     ("workload", Json::Str(workload.name().to_string())),
@@ -130,7 +130,7 @@ fn motivation_job(scale: Scale, q: f64, seed: u64) -> Job {
         run: Box::new(move || {
             run_metrics(
                 format!("DRILL+RLB qth {param}"),
-                motivation(&mc, Scheme::Drill, Some(rlb.clone())),
+                Scenario::motivation(&mc, Scheme::Drill, Some(rlb.clone())),
                 vec![
                     ("part", Json::Str(PART_QTH_MOTIVATION.to_string())),
                     // The motivation background is Web Search traffic.

@@ -14,7 +14,7 @@ use crate::runner::{by_label, mean_metric, Job, JobOutcome};
 use crate::Scale;
 use rlb_engine::SimTime;
 use rlb_metrics::{ms, Table};
-use rlb_net::scenario::{motivation, MotivationConfig};
+use rlb_net::scenario::{MotivationConfig, Scenario};
 
 pub struct Row {
     pub scheme: String,
@@ -69,7 +69,7 @@ impl Figure for Fig3 {
                         seed,
                         spec,
                         run: Box::new(move || {
-                            let mut sc = motivation(&mc, scheme, None);
+                            let mut sc = Scenario::motivation(&mc, scheme, None);
                             sc.cfg.switch.pfc_enabled = pfc;
                             run_metrics(
                                 Variant::vanilla(scheme).label(),

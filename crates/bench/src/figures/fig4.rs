@@ -12,7 +12,7 @@ use crate::runner::{by_label, mean_metric, Job, JobOutcome};
 use crate::Scale;
 use rlb_lb::Scheme;
 use rlb_metrics::{pct, Table};
-use rlb_net::scenario::motivation;
+use rlb_net::scenario::Scenario;
 
 pub struct Row {
     pub scheme: String,
@@ -70,7 +70,7 @@ impl Figure for Fig4 {
                             run: Box::new(move || {
                                 run_metrics(
                                     Variant::vanilla(scheme).label(),
-                                    motivation(&mc, scheme, None),
+                                    Scenario::motivation(&mc, scheme, None),
                                     vec![
                                         ("part", Json::Str(part.to_string())),
                                         ("scheme", Json::Str(scheme.name().to_string())),

@@ -8,7 +8,7 @@ use crate::runner::{by_label, mean_metric, Job, JobOutcome};
 use crate::Scale;
 use rlb_engine::SimTime;
 use rlb_metrics::{ms, Table};
-use rlb_net::scenario::{steady_state, SteadyStateConfig};
+use rlb_net::scenario::{Scenario, SteadyStateConfig};
 use rlb_net::TopoConfig;
 use rlb_workloads::Workload;
 
@@ -61,7 +61,7 @@ impl Figure for Fig6 {
                     run: Box::new(move || {
                         super::common::run_metrics(
                             v.label(),
-                            steady_state(&sc, v.scheme, v.rlb.clone()),
+                            Scenario::steady_state(&sc, v.scheme, v.rlb.clone()),
                             Vec::new(),
                         )
                     }),

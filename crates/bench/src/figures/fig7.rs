@@ -10,7 +10,7 @@ use crate::Scale;
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
 use rlb_metrics::{ms, Table};
-use rlb_net::scenario::{asymmetric_topo, steady_state, SteadyStateConfig};
+use rlb_net::scenario::{asymmetric_topo, Scenario, SteadyStateConfig};
 use rlb_net::TopoConfig;
 use rlb_workloads::Workload;
 
@@ -72,7 +72,7 @@ impl Figure for Fig7 {
                             run: Box::new(move || {
                                 run_metrics(
                                     v.label(),
-                                    steady_state(&sc, v.scheme, v.rlb.clone()),
+                                    Scenario::steady_state(&sc, v.scheme, v.rlb.clone()),
                                     vec![
                                         ("workload", Json::Str(workload.name().to_string())),
                                         ("load", Json::F64(load)),

@@ -9,7 +9,7 @@ use crate::runner::{by_label, mean_metric, Job, JobOutcome};
 use crate::Scale;
 use rlb_engine::SimDuration;
 use rlb_metrics::{ms, pct, Table};
-use rlb_net::scenario::{incast_scenario, IncastScenarioConfig};
+use rlb_net::scenario::{IncastScenarioConfig, Scenario};
 use rlb_net::TopoConfig;
 
 pub struct Row {
@@ -82,7 +82,7 @@ impl Figure for Fig8 {
                             run: Box::new(move || {
                                 run_metrics(
                                     v.label(),
-                                    incast_scenario(&ic, v.scheme, v.rlb.clone()),
+                                    Scenario::incast(&ic, v.scheme, v.rlb.clone()),
                                     vec![
                                         ("part", Json::Str(part.to_string())),
                                         ("x", Json::U64(x)),

@@ -11,7 +11,7 @@ use rlb_core::RlbConfig;
 use rlb_engine::SimTime;
 use rlb_lb::Scheme;
 use rlb_metrics::{ms, Table};
-use rlb_net::scenario::{steady_state, SteadyStateConfig};
+use rlb_net::scenario::{Scenario, SteadyStateConfig};
 use rlb_net::TopoConfig;
 use rlb_workloads::Workload;
 
@@ -75,7 +75,7 @@ impl Figure for Fig9 {
                                 run: Box::new(move || {
                                     run_metrics(
                                         variant_label.clone(),
-                                        steady_state(&sc, scheme, Some(rlb.clone())),
+                                        Scenario::steady_state(&sc, scheme, Some(rlb.clone())),
                                         vec![
                                             (
                                                 "workload",

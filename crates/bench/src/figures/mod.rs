@@ -16,6 +16,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fig_fail;
 
 use crate::json::Json;
 use crate::runner::{Job, JobOutcome};
@@ -51,8 +52,9 @@ pub trait Figure: Sync {
     fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport;
 }
 
-/// Every figure, in paper order. The single source of truth driving
-/// `all_figs`, the per-figure binaries, and `--figs` filtering.
+/// Every figure, in paper order, then the extras the paper never ran
+/// (`fig_fail`). The single source of truth driving `all_figs`, the
+/// per-figure binaries, and `--figs` filtering.
 pub fn registry() -> &'static [&'static dyn Figure] {
     &[
         &fig3::Fig3,
@@ -62,6 +64,7 @@ pub fn registry() -> &'static [&'static dyn Figure] {
         &fig8::Fig8,
         &fig9::Fig9,
         &fig10::Fig10,
+        &fig_fail::FigFail,
     ]
 }
 
@@ -83,7 +86,10 @@ mod tests {
             assert!(!by_name(n).expect("resolvable").description().is_empty());
         }
         assert!(by_name("fig99").is_none());
-        assert_eq!(names, vec!["fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10"]);
+        assert_eq!(
+            names,
+            vec!["fig3", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig_fail"]
+        );
     }
 
     #[test]

@@ -39,8 +39,9 @@ use std::time::Instant;
 /// across versions. v2: metrics gained the per-job `perf` block
 /// (events_processed / wall_ms / events_per_sec). v3: the perf block
 /// gained the decision / snapshot-cache counters (decisions,
-/// snapshot_reuses, snapshot_refreshes, snapshot_rebuilds).
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// snapshot_reuses, snapshot_refreshes, snapshot_rebuilds). v4: the
+/// counters block gained faults_applied (fault-injection timelines).
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// FNV-1a 64-bit — small, dependency-free, stable across platforms.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {

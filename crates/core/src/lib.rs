@@ -55,7 +55,7 @@ mod proptests {
                 warned,
                 rtt_ns,
                 queue_bytes,
-                ..PathInfo::idle()
+                ..PathInfo::default()
             },
         )
     }
@@ -108,7 +108,7 @@ mod proptests {
             rtts in proptest::collection::vec(1_000.0f64..100_000.0, 30),
         ) {
             let paths: Vec<PathInfo> = (0..n)
-                .map(|i| PathInfo { rtt_ns: rtts[i], ..PathInfo::idle() })
+                .map(|i| PathInfo { rtt_ns: rtts[i], ..PathInfo::default() })
                 .collect();
             let initial = initial_raw % n;
             let (d, r) = algorithm1(initial, &mk_ctx(&paths), &RlbConfig::default(), 0);

@@ -253,7 +253,7 @@ mod tests {
                 warned,
                 rtt_ns,
                 queue_bytes: queue,
-                ..PathInfo::idle()
+                ..PathInfo::default()
             })
             .collect()
     }

@@ -71,6 +71,13 @@ impl SimTime {
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+    /// The span from the clock origin (t=0) to this instant. Lets callers
+    /// scale an instant-valued config field (e.g. a horizon) as a duration
+    /// without unwrapping to raw picoseconds.
+    #[inline]
+    pub const fn as_duration(self) -> SimDuration {
+        SimDuration(self.0)
+    }
 }
 
 impl SimDuration {

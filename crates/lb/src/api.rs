@@ -32,9 +32,11 @@ pub struct PathInfo {
     pub link_rate_bps: f64,
 }
 
-impl PathInfo {
-    /// A neutral default for tests: empty queue, 10 µs RTT, clean path.
-    pub fn idle() -> PathInfo {
+/// A neutral path: empty queue, 10 µs RTT, clean 40G link. The starting
+/// point simulators refine with live switch state, and the baseline tests
+/// perturb one field at a time from.
+impl Default for PathInfo {
+    fn default() -> PathInfo {
         PathInfo {
             queue_bytes: 0,
             paused: false,
@@ -43,6 +45,14 @@ impl PathInfo {
             ecn_fraction: 0.0,
             link_rate_bps: 40e9,
         }
+    }
+}
+
+impl PathInfo {
+    /// A neutral default for tests: empty queue, 10 µs RTT, clean path.
+    #[deprecated(since = "0.1.0", note = "use `PathInfo::default()`")]
+    pub fn idle() -> PathInfo {
+        PathInfo::default()
     }
 }
 
@@ -119,9 +129,20 @@ mod tests {
     }
 
     #[test]
-    fn idle_path_is_clean() {
-        let p = PathInfo::idle();
+    fn default_path_is_clean() {
+        let p = PathInfo::default();
         assert!(!p.paused && !p.warned);
         assert_eq!(p.queue_bytes, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn idle_alias_matches_default() {
+        let a = PathInfo::idle();
+        let d = PathInfo::default();
+        assert_eq!(a.queue_bytes, d.queue_bytes);
+        assert_eq!((a.paused, a.warned), (d.paused, d.warned));
+        assert_eq!(a.rtt_ns.to_bits(), d.rtt_ns.to_bits());
+        assert_eq!(a.link_rate_bps.to_bits(), d.link_rate_bps.to_bits());
     }
 }

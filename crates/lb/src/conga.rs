@@ -140,7 +140,7 @@ mod tests {
             PathInfo {
                 queue_bytes: 200_000,
                 ecn_fraction: 0.0,
-                ..PathInfo::idle()
+                ..PathInfo::default()
             };
             4
         ];
@@ -158,12 +158,12 @@ mod tests {
             PathInfo {
                 queue_bytes: 0,
                 ecn_fraction: 0.9,
-                ..PathInfo::idle()
+                ..PathInfo::default()
             },
             PathInfo {
                 queue_bytes: 50_000,
                 ecn_fraction: 0.0,
-                ..PathInfo::idle()
+                ..PathInfo::default()
             },
         ];
         let mut c = lb();
@@ -172,7 +172,7 @@ mod tests {
 
     #[test]
     fn flowlet_stickiness_within_timeout() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut c = lb();
         let p = c.select(&ctx(&paths, 3, 0));
         for t in (0..20).map(|i| i * 900_000) {
@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn flowlet_gap_reroutes_toward_new_minimum() {
-        let mut paths = vec![PathInfo::idle(); 4];
+        let mut paths = vec![PathInfo::default(); 4];
         let mut c = lb();
         let p = c.select(&ctx(&paths, 3, 0));
         // Congest the current path; after a gap CONGA must leave it.
@@ -195,7 +195,7 @@ mod tests {
 
     #[test]
     fn ties_spread_over_paths() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut c = lb();
         let mut used = std::collections::HashSet::new();
         for f in 0..64 {

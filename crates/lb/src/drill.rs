@@ -98,7 +98,7 @@ mod tests {
         let mut paths = vec![
             PathInfo {
                 queue_bytes: 1_000_000,
-                ..PathInfo::idle()
+                ..PathInfo::default()
             };
             8
         ];
@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn memory_carries_best_port_forward() {
-        let mut paths = vec![PathInfo::idle(); 4];
+        let mut paths = vec![PathInfo::default(); 4];
         for (i, p) in paths.iter_mut().enumerate() {
             p.queue_bytes = (i as u64 + 1) * 1000;
         }
@@ -141,8 +141,8 @@ mod tests {
 
     #[test]
     fn stale_memory_index_is_ignored_when_out_of_range() {
-        let big = vec![PathInfo::idle(); 8];
-        let small = vec![PathInfo::idle(); 2];
+        let big = vec![PathInfo::default(); 8];
+        let small = vec![PathInfo::default(); 2];
         let mut d = lb();
         for _ in 0..20 {
             d.select(&ctx(&big));
@@ -154,14 +154,14 @@ mod tests {
 
     #[test]
     fn single_path_degenerates_gracefully() {
-        let one = vec![PathInfo::idle()];
+        let one = vec![PathInfo::default()];
         let mut d = lb();
         assert_eq!(d.select(&ctx(&one)), 0);
     }
 
     #[test]
     fn per_packet_decisions_spread_under_equal_load() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut d = lb();
         let mut used = std::collections::HashSet::new();
         for _ in 0..300 {

@@ -44,7 +44,7 @@ mod tests {
 
     #[test]
     fn same_flow_always_same_path() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut lb = Ecmp;
         let p0 = lb.select(&ctx(&paths, 42, 0));
         for seq in 1..100 {
@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn different_flows_spread_over_paths() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut lb = Ecmp;
         let mut used = std::collections::HashSet::new();
         for f in 0..200u64 {
@@ -67,7 +67,7 @@ mod tests {
     fn path_index_always_valid() {
         let mut lb = Ecmp;
         for n in 1..10 {
-            let paths = vec![PathInfo::idle(); n];
+            let paths = vec![PathInfo::default(); n];
             for f in 0..50u64 {
                 assert!(lb.select(&ctx(&paths, f, 0)) < n);
             }

@@ -216,7 +216,7 @@ mod tests {
         PathInfo {
             rtt_ns,
             ecn_fraction: ecn,
-            ..PathInfo::idle()
+            ..PathInfo::default()
         }
     }
 
@@ -230,7 +230,7 @@ mod tests {
 
     #[test]
     fn flow_sticks_to_its_path_while_it_stays_healthy() {
-        let paths = vec![PathInfo::idle(); 4];
+        let paths = vec![PathInfo::default(); 4];
         let mut h = lb();
         let p = h.select(&ctx(&paths, 1));
         for _ in 0..200 {
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn reroutes_away_from_bad_path_after_enough_bytes() {
-        let mut paths = vec![PathInfo::idle(); 4];
+        let mut paths = vec![PathInfo::default(); 4];
         let mut h = lb();
         let p = h.select(&ctx(&paths, 1));
         // Turn the chosen path bad; others stay good.
@@ -291,7 +291,7 @@ mod tests {
 
     #[test]
     fn new_flows_spread_across_equivalent_paths() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut h = lb();
         let mut used = std::collections::HashSet::new();
         for f in 0..64 {

@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn packets_within_gap_stay_on_path() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut lb = lb();
         let p = lb.select(&ctx(&paths, 5, 0));
         for t in (0..50).map(|i| i * 900_000) {
@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn gap_beyond_timeout_may_switch_path() {
-        let paths = vec![PathInfo::idle(); 16];
+        let paths = vec![PathInfo::default(); 16];
         let mut lb = lb();
         lb.select(&ctx(&paths, 5, 0));
         // Many flowlets: with 16 paths, at least one reroll lands elsewhere.
@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn flows_are_independent() {
-        let paths = vec![PathInfo::idle(); 16];
+        let paths = vec![PathInfo::default(); 16];
         let mut lb = lb();
         let mut used = std::collections::HashSet::new();
         for f in 0..64 {
@@ -143,7 +143,7 @@ mod tests {
 
     #[test]
     fn timeout_boundary_is_exclusive_below() {
-        let paths = vec![PathInfo::idle(); 4];
+        let paths = vec![PathInfo::default(); 4];
         let mut lb = LetFlow::with_timeout(substream(2, b"letflow-test", 1), 1_000);
         let p = lb.select(&ctx(&paths, 1, 0));
         // exactly at timeout: new flowlet (gap >= timeout)
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn completion_clears_table() {
-        let paths = vec![PathInfo::idle(); 4];
+        let paths = vec![PathInfo::default(); 4];
         let mut lb = lb();
         lb.select(&ctx(&paths, 1, 0));
         lb.on_flow_complete(1);

@@ -35,6 +35,14 @@ pub use hermes::{Hermes, HermesConfig};
 pub use letflow::LetFlow;
 pub use presto::Presto;
 
+/// One-line import for scheme implementors and simulators:
+/// `use rlb_lb::prelude::*;` brings in the trait, the decision context,
+/// every concrete scheme, and the [`build`] constructor.
+pub mod prelude {
+    pub use crate::api::{Ctx, LoadBalancer, PathIdx, PathInfo, Scheme};
+    pub use crate::{build, Conga, Drill, Ecmp, Hermes, HermesConfig, LetFlow, Presto};
+}
+
 use rlb_engine::SimRng;
 
 /// Construct a scheme by id with its paper-default parameters.
@@ -104,7 +112,7 @@ mod proptests {
             seq in 0u32..10_000,
             noise in proptest::collection::vec((any::<u64>(), 0u32..10_000), 0..30),
         ) {
-            let paths = vec![PathInfo::idle(); 12];
+            let paths = vec![PathInfo::default(); 12];
             let mk_ctx = |f: u64, s: u32| Ctx {
                 now_ps: 0, flow_id: f, dst_leaf: 0, seq: s, pkt_bytes: 1000, paths: &paths,
             };
@@ -123,7 +131,7 @@ mod proptests {
             seed in any::<u64>(),
             gaps in proptest::collection::vec(0u64..49_999_999, 1..50),
         ) {
-            let paths = vec![PathInfo::idle(); 16];
+            let paths = vec![PathInfo::default(); 16];
             let mut lb = LetFlow::new(substream(seed, b"lf", 0));
             let mut now = 0u64;
             let mk_ctx = |t: u64| Ctx {

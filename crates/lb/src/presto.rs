@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn packets_within_a_flowcell_share_a_path() {
-        let paths = vec![PathInfo::idle(); 4];
+        let paths = vec![PathInfo::default(); 4];
         let mut lb = Presto::new(1000);
         // 64 KB cell at 1 KB MTU = 65 packets per cell (64*1024/1000 = 65.5).
         let p = lb.select(&ctx(&paths, 7, 0));
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn consecutive_cells_round_robin() {
-        let paths = vec![PathInfo::idle(); 4];
+        let paths = vec![PathInfo::default(); 4];
         let mut lb = Presto::new(1000);
         let pkts_per_cell = (FLOWCELL_BYTES / 1000) as u32 + 1; // first seq of next cell
         let c0 = lb.select(&ctx(&paths, 7, 0));
@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn retransmissions_reuse_the_original_cell_path() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut lb = Presto::new(1000);
         let first = lb.select(&ctx(&paths, 3, 10));
         // ... many packets later, PSN 10 is retransmitted:
@@ -126,7 +126,7 @@ mod tests {
 
     #[test]
     fn flows_start_on_spread_bases() {
-        let paths = vec![PathInfo::idle(); 8];
+        let paths = vec![PathInfo::default(); 8];
         let mut lb = Presto::new(1000);
         let mut used = std::collections::HashSet::new();
         for f in 0..64u64 {
@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn flow_completion_clears_state() {
-        let paths = vec![PathInfo::idle(); 4];
+        let paths = vec![PathInfo::default(); 4];
         let mut lb = Presto::new(1000);
         lb.select(&ctx(&paths, 9, 0));
         assert_eq!(lb.base.len(), 1);

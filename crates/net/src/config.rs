@@ -207,6 +207,9 @@ pub struct SimConfig {
     /// drain). Only consulted when the crate is built with the `audit`
     /// feature; the field always exists so configs stay feature-independent.
     pub audit_every_events: u64,
+    /// Ordered fault timeline: each entry is scheduled as an ordinary wheel
+    /// event at construction (see [`crate::fault`]). Empty = healthy fabric.
+    pub faults: Vec<crate::fault::TimedFault>,
 }
 
 impl Default for SimConfig {
@@ -222,6 +225,7 @@ impl Default for SimConfig {
             monitor: None,
             trace_flows: Vec::new(),
             audit_every_events: 4096,
+            faults: Vec::new(),
         }
     }
 }
@@ -244,6 +248,7 @@ impl SimConfig {
         if self.switch.ecn.kmin_bytes > self.switch.ecn.kmax_bytes {
             return Err("ECN kmin above kmax".into());
         }
+        crate::fault::validate_timeline(&self.faults, &self.topo)?;
         Ok(())
     }
 

@@ -10,7 +10,13 @@
 //! * [`sim`] — the event loop wiring it all together with real one-hop
 //!   latencies for every signal (PAUSE frames, CNMs, ACKs);
 //! * [`scenario`] — the paper's experimental setups (Fig. 2 motivation
-//!   dumbbell, §4.1 symmetric, §4.2 asymmetric, §4.3 incast).
+//!   dumbbell, §4.1 symmetric, §4.2 asymmetric, §4.3 incast) plus the
+//!   failure-sweep scenario the paper never ran;
+//! * [`fault`] — the declarative fault timeline (link/switch failures and
+//!   recoveries, rate degradation, load scaling) executed as ordinary
+//!   wheel events;
+//! * [`spec`] — on-disk scenario specs: a deterministic TOML-subset
+//!   reader/writer with span-carrying parse errors.
 //!
 //! ```
 //! use rlb_net::scenario::{steady_state, SteadyStateConfig};
@@ -31,23 +37,27 @@
 #[cfg(feature = "audit")]
 pub mod audit;
 pub mod config;
+pub mod fault;
 pub mod host;
 pub mod monitor;
 pub mod packet;
 pub mod scenario;
 pub mod sim;
+pub mod spec;
 pub mod switch;
 pub mod trace;
 pub mod topology;
 
 pub use config::{EcnConfig, SimConfig, SwitchConfig, TopoConfig, TransportConfig};
+pub use fault::{flap, Fault, TimedFault};
 pub use host::TransportMode;
 pub use monitor::{FabricSample, FabricTimeSeries, MonitorConfig};
 pub use packet::{Packet, PacketKind};
 pub use scenario::{
-    asymmetric_topo, incast_scenario, motivation, steady_state, IncastScenarioConfig,
-    MotivationConfig, Scenario, SteadyStateConfig,
+    asymmetric_topo, fail_sweep, incast_scenario, motivation, steady_state, FailSweepConfig,
+    IncastScenarioConfig, MotivationConfig, Scenario, SteadyStateConfig,
 };
+pub use spec::{ScenarioSpec, SpecError};
 pub use sim::{RunResult, Simulation};
 pub use trace::{FlowTraces, TraceEntry, TraceEvent};
 pub use topology::{Node, Topology};

@@ -1,12 +1,20 @@
-//! Pre-packaged experiment scenarios matching the paper's setups.
+//! Experiment scenarios: the paper's setups plus declarative extensions.
+//!
+//! [`Scenario`] is the single entry point: a fully built simulation input
+//! (config + flows + fault timeline). Construct one through the
+//! builder-style constructors ([`Scenario::motivation`],
+//! [`Scenario::steady_state`], [`Scenario::incast`],
+//! [`Scenario::fail_sweep`]), or declaratively from an on-disk spec file
+//! via [`crate::spec::ScenarioSpec`].
 
 use crate::config::{SimConfig, TopoConfig};
+use crate::fault::{Fault, TimedFault};
 use rlb_core::RlbConfig;
 use rlb_engine::{substream, SimDuration, SimTime};
 use rlb_lb::Scheme;
 use rlb_workloads::{
-    congested_flow, incast, BurstConfig, FlowSpec, IncastConfig, PairPolicy, PoissonTraffic,
-    SizeCdf, Workload,
+    congested_flow, incast, BurstConfig, FlowSpec, IncastConfig, LoadCurve, PairPolicy,
+    PoissonTraffic, SizeCdf, Workload,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -65,13 +73,59 @@ impl Default for MotivationConfig {
     }
 }
 
-/// Built scenario: the simulation config plus the flows to inject.
+/// Built scenario: the simulation config (including any fault timeline in
+/// `cfg.faults`) plus the flows to inject.
+#[derive(Debug, Clone)]
 pub struct Scenario {
     pub cfg: SimConfig,
     pub flows: Vec<FlowSpec>,
 }
 
 impl Scenario {
+    /// Wrap an explicit config + flow list.
+    pub fn new(cfg: SimConfig, flows: Vec<FlowSpec>) -> Scenario {
+        Scenario { cfg, flows }
+    }
+
+    /// The Fig. 2/3/4 motivation dumbbell (see [`motivation`]).
+    pub fn motivation(mc: &MotivationConfig, scheme: Scheme, rlb: Option<RlbConfig>) -> Scenario {
+        motivation(mc, scheme, rlb)
+    }
+
+    /// §4.1/§4.2 steady-state Poisson traffic (see [`steady_state`]).
+    pub fn steady_state(
+        sc: &SteadyStateConfig,
+        scheme: Scheme,
+        rlb: Option<RlbConfig>,
+    ) -> Scenario {
+        steady_state(sc, scheme, rlb)
+    }
+
+    /// §4.3 incast over optional background (see [`incast_scenario`]).
+    pub fn incast(ic: &IncastScenarioConfig, scheme: Scheme, rlb: Option<RlbConfig>) -> Scenario {
+        incast_scenario(ic, scheme, rlb)
+    }
+
+    /// Failure sweep the paper never ran (see [`fail_sweep`]).
+    pub fn fail_sweep(fc: &FailSweepConfig, scheme: Scheme, rlb: Option<RlbConfig>) -> Scenario {
+        fail_sweep(fc, scheme, rlb)
+    }
+
+    /// Replace the fault timeline (validated when the simulation is built).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Vec<TimedFault>) -> Scenario {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Append extra flows, keeping the arrival order sorted.
+    #[must_use]
+    pub fn with_extra_flows(mut self, extra: impl IntoIterator<Item = FlowSpec>) -> Scenario {
+        self.flows.extend(extra);
+        self.flows.sort_by_key(|f| f.start);
+        self
+    }
+
     pub fn run(self) -> crate::sim::RunResult {
         crate::sim::Simulation::new(self.cfg, self.flows).run()
     }
@@ -106,7 +160,7 @@ pub fn motivation(mc: &MotivationConfig, scheme: Scheme, rlb: Option<RlbConfig>)
         scheme,
         rlb,
         seed: mc.seed,
-        hard_stop: SimTime(mc.horizon.as_ps() * 20),
+        hard_stop: SimTime::ZERO + mc.horizon.as_duration().mul_u64(20),
         ..SimConfig::default()
     };
     let mut flows = Vec::new();
@@ -210,7 +264,7 @@ pub fn steady_state(sc: &SteadyStateConfig, scheme: Scheme, rlb: Option<RlbConfi
         scheme,
         rlb,
         seed: sc.seed,
-        hard_stop: SimTime(sc.horizon.as_ps() * 25),
+        hard_stop: SimTime::ZERO + sc.horizon.as_duration().mul_u64(25),
         ..SimConfig::default()
     };
     let traffic = PoissonTraffic::with_load(
@@ -278,10 +332,13 @@ pub fn incast_scenario(
         scheme,
         rlb,
         seed: ic.seed,
-        hard_stop: SimTime(ic.request_interval.as_ps() * (ic.requests as u64 + 1) * 30),
+        hard_stop: SimTime::ZERO
+            + ic.request_interval
+                .mul_u64(ic.requests as u64 + 1)
+                .mul_u64(30),
         ..SimConfig::default()
     };
-    let horizon = SimTime(ic.request_interval.as_ps() * ic.requests as u64);
+    let horizon = SimTime::ZERO + ic.request_interval.mul_u64(ic.requests as u64);
     let mut rng = substream(ic.seed, b"incast", 0);
     let mut flows = incast::generate(
         &IncastConfig {
@@ -307,6 +364,103 @@ pub fn incast_scenario(
         flows.extend(traffic.generate(horizon, &mut rng));
     }
     flows.sort_by_key(|f| f.start);
+    Scenario { cfg, flows }
+}
+
+/// Failure sweep: steady-state Poisson traffic over a healthy fabric, then
+/// `n_failures` distinct leaf–spine links go down mid-run (staggered), each
+/// recovering after `fail_duration`. The links are chosen uniformly by seed
+/// (the [`asymmetric_topo`] idiom), so replicates fail different links.
+///
+/// This is the scenario behind `fig_fail` — an experiment the paper never
+/// ran, but squarely inside its premise: schemes that cannot perceive PFC
+/// pausing keep spraying into paths stalled behind a dead link, while RLB's
+/// warning chain steers flows off the failed spine.
+#[derive(Debug, Clone, Serialize)]
+pub struct FailSweepConfig {
+    pub topo: TopoConfig,
+    pub workload: Workload,
+    /// Offered load as a fraction of the healthy core capacity.
+    pub load: f64,
+    /// Flow-arrival horizon.
+    pub horizon: SimTime,
+    /// Distinct leaf–spine links that fail (the sweep's x-axis).
+    pub n_failures: u32,
+    /// Instant the first link goes down.
+    pub fail_at: SimTime,
+    /// Gap between successive link failures.
+    pub fail_stagger: SimDuration,
+    /// Outage length per link; `SimDuration::ZERO` = no recovery.
+    pub fail_duration: SimDuration,
+    /// Offered-load multiplier over time (flat 1.0 by default).
+    pub load_curve: LoadCurve,
+    pub seed: u64,
+}
+
+impl Default for FailSweepConfig {
+    fn default() -> Self {
+        FailSweepConfig {
+            topo: TopoConfig::default(),
+            workload: Workload::WebSearch,
+            load: 0.5,
+            horizon: SimTime::from_ms(4),
+            n_failures: 2,
+            fail_at: SimTime::from_us(200),
+            fail_stagger: SimDuration::from_us(100),
+            fail_duration: SimDuration::from_ms(1),
+            load_curve: LoadCurve::flat(),
+            seed: 1,
+        }
+    }
+}
+
+pub fn fail_sweep(fc: &FailSweepConfig, scheme: Scheme, rlb: Option<RlbConfig>) -> Scenario {
+    let n_links = fc.topo.n_leaves * fc.topo.n_spines;
+    assert!(
+        fc.n_failures <= n_links,
+        "cannot fail {} of {} links",
+        fc.n_failures,
+        n_links
+    );
+    // Pick the victim links uniformly, deterministically per seed.
+    let mut all: Vec<(u32, u32)> = (0..fc.topo.n_leaves)
+        .flat_map(|l| (0..fc.topo.n_spines).map(move |s| (l, s)))
+        .collect();
+    let mut rng = substream(fc.seed, b"fail-sweep-links", 0);
+    all.shuffle(&mut rng);
+    let mut faults = Vec::with_capacity(fc.n_failures as usize * 2);
+    for (i, &(leaf, spine)) in all.iter().take(fc.n_failures as usize).enumerate() {
+        let down_at = fc.fail_at + fc.fail_stagger.mul_u64(i as u64);
+        faults.push(TimedFault::new(down_at, Fault::LinkDown { leaf, spine }));
+        if fc.fail_duration > SimDuration::ZERO {
+            faults.push(TimedFault::new(
+                down_at + fc.fail_duration,
+                Fault::LinkUp { leaf, spine },
+            ));
+        }
+    }
+    faults.sort_by_key(|tf| tf.at);
+
+    let cfg = SimConfig {
+        topo: fc.topo.clone(),
+        scheme,
+        rlb,
+        seed: fc.seed,
+        hard_stop: SimTime::ZERO + fc.horizon.as_duration().mul_u64(25),
+        faults,
+        ..SimConfig::default()
+    };
+    let traffic = PoissonTraffic::with_load(
+        fc.workload.cdf(),
+        fc.topo.n_hosts(),
+        PairPolicy::InterLeaf {
+            hosts_per_leaf: fc.topo.hosts_per_leaf,
+        },
+        fc.load,
+        fc.topo.core_bits_per_sec(),
+    );
+    let mut rng = substream(fc.seed, b"fail-sweep-traffic", 0);
+    let flows = traffic.generate_modulated(fc.horizon, &fc.load_curve, &mut rng);
     Scenario { cfg, flows }
 }
 
@@ -412,5 +566,68 @@ mod tests {
         assert_eq!(sc.flows.len(), 15);
         assert!(sc.flows.iter().all(|f| f.group < 3));
         assert!(sc.cfg.rlb.is_some());
+    }
+
+    #[test]
+    fn fail_sweep_builds_sorted_validated_timeline() {
+        let fc = FailSweepConfig {
+            n_failures: 3,
+            horizon: SimTime::from_ms(1),
+            ..FailSweepConfig::default()
+        };
+        let sc = Scenario::fail_sweep(&fc, Scheme::Drill, Some(RlbConfig::default()));
+        // 3 outages, each with a recovery.
+        assert_eq!(sc.cfg.faults.len(), 6);
+        sc.cfg.validate().expect("fail-sweep config validates");
+        let downs: Vec<_> = sc
+            .cfg
+            .faults
+            .iter()
+            .filter(|tf| matches!(tf.fault, Fault::LinkDown { .. }))
+            .collect();
+        assert_eq!(downs.len(), 3);
+        assert_eq!(downs[0].at, fc.fail_at);
+        // distinct victim links
+        let mut links: Vec<(u32, u32)> = sc
+            .cfg
+            .faults
+            .iter()
+            .filter_map(|tf| match tf.fault {
+                Fault::LinkDown { leaf, spine } => Some((leaf, spine)),
+                _ => None,
+            })
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        assert_eq!(links.len(), 3);
+        assert!(!sc.flows.is_empty());
+        // deterministic per seed, different across seeds
+        let sc2 = Scenario::fail_sweep(&fc, Scheme::Drill, Some(RlbConfig::default()));
+        assert_eq!(sc.cfg.faults, sc2.cfg.faults);
+        let sc3 = Scenario::fail_sweep(
+            &FailSweepConfig { seed: 9, ..fc.clone() },
+            Scheme::Drill,
+            None,
+        );
+        assert_ne!(sc.cfg.faults, sc3.cfg.faults);
+    }
+
+    #[test]
+    fn scenario_builders_match_free_functions() {
+        let mc = MotivationConfig {
+            horizon: SimTime::from_us(200),
+            ..MotivationConfig::default()
+        };
+        let a = Scenario::motivation(&mc, Scheme::Presto, None);
+        let b = motivation(&mc, Scheme::Presto, None);
+        assert_eq!(a.flows.len(), b.flows.len());
+        assert_eq!(a.cfg.label(), b.cfg.label());
+        let faulted = Scenario::steady_state(&SteadyStateConfig::default(), Scheme::Drill, None)
+            .with_faults(vec![TimedFault::new(
+                SimTime::from_us(5),
+                Fault::SpineDown { spine: 1 },
+            )]);
+        assert_eq!(faulted.cfg.faults.len(), 1);
+        faulted.cfg.validate().expect("faulted scenario validates");
     }
 }

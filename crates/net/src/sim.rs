@@ -9,6 +9,7 @@
 #[cfg(feature = "audit")]
 use crate::audit::FabricAuditor;
 use crate::config::SimConfig;
+use crate::fault::Fault;
 use crate::host::{FlowState, Host, Reliability};
 use crate::monitor::{FabricSample, FabricTimeSeries};
 use crate::packet::{Packet, PacketKind, NO_PATH};
@@ -59,6 +60,10 @@ enum Event {
     RtoCheck(u32),
     /// Periodic fabric snapshot (only when monitoring is enabled).
     MonitorTick,
+    /// Apply entry `i` of the fault timeline (`SimConfig::faults`). The
+    /// payload is an index, not the fault itself, so the event stays `Copy`
+    /// -cheap and the timeline remains readable in one place.
+    Fault(u32),
 }
 
 /// Wall-clock performance telemetry for one run.
@@ -189,6 +194,9 @@ pub struct Simulation {
     increase_tick_armed: bool,
     /// CNM relay TTL.
     cnm_ttl: u8,
+    /// Live host NIC rate scale in parts-per-thousand of the configured
+    /// `host_link_rate_bps` (the `Fault::LoadScale` knob); 1000 = nominal.
+    host_rate_scale_permille: u32,
     timeseries: FabricTimeSeries,
     traces: FlowTraces,
     pfc_pauses_by_port: std::collections::BTreeMap<((bool, u32), u16), u64>,
@@ -360,6 +368,12 @@ impl Simulation {
             flows.push(fs);
         }
 
+        // The fault timeline rides the same wheel as everything else: one
+        // event per entry, fired in deterministic (time, seq) order.
+        for (i, tf) in cfg.faults.iter().enumerate() {
+            q.schedule(tf.at, Event::Fault(i as u32));
+        }
+
         let cfg_trace_flows = cfg.trace_flows.clone();
         Simulation {
             topo,
@@ -383,6 +397,7 @@ impl Simulation {
             alpha_tick_armed: false,
             increase_tick_armed: false,
             cnm_ttl: 4,
+            host_rate_scale_permille: 1000,
             timeseries: FabricTimeSeries::default(),
             traces: FlowTraces::new(&cfg_trace_flows),
             pfc_pauses_by_port: std::collections::BTreeMap::new(),
@@ -581,6 +596,7 @@ impl Simulation {
             Event::IncreaseTick => self.on_increase_tick(),
             Event::RtoCheck(f) => self.on_rto_check(f),
             Event::MonitorTick => self.on_monitor_tick(),
+            Event::Fault(i) => self.on_fault(i),
         }
     }
 
@@ -716,7 +732,10 @@ impl Simulation {
             self.auditor.on_injected();
         }
         self.hosts[h as usize].busy = true;
-        let rate = self.cfg.topo.host_link_rate_bps;
+        // NIC line rate scaled by any live `Fault::LoadScale` (1000 = nominal).
+        let rate = (self.cfg.topo.host_link_rate_bps * self.host_rate_scale_permille as u64
+            / 1000)
+            .max(1);
         let ser = tx_delay(pkt.size_bytes as u64, rate);
         let prop = SimDuration(self.cfg.topo.link_delay_ps);
         let (peer, peer_port) = self.topo.peer(Node::Host(h), 0);
@@ -1054,11 +1073,13 @@ impl Simulation {
     /// 3. *Rebuild* — anything else: reconstruct from scratch.
     ///
     /// Every field source is covered by a stamp input — `data_q_bytes` and
-    /// `paused` by `Switch::snap_gen`, `rtt_ns`/`ecn_fraction` and warning
-    /// *insertions* by `LeafState::sig_gen`, warning *expiry* (time-based,
-    /// bumps nothing) by `valid_until_ps`, and `link_rate_bps` is fixed at
-    /// construction — so a reused snapshot equals what a rebuild would
-    /// produce and replays stay bit-exact.
+    /// `paused` (incl. fault-driven link state) by `Switch::snap_gen`,
+    /// `rtt_ns`/`ecn_fraction` and warning *insertions* by
+    /// `LeafState::sig_gen`, warning *expiry* (time-based, bumps nothing)
+    /// by `valid_until_ps`, and `link_rate_bps` changes only through fault
+    /// events, each of which resets `snap_stamp` to `invalid()` outright —
+    /// so a reused snapshot equals what a rebuild would produce and replays
+    /// stay bit-exact.
     fn assemble_paths(&mut self, leaf: u32, dst_leaf: u32) {
         let now_ps = self.now().as_ps();
         let n_spines = self.cfg.topo.n_spines;
@@ -1080,7 +1101,7 @@ impl Simulation {
             for (s, p) in self.path_scratch.iter_mut().enumerate() {
                 let ep = &sw.egress[hpl as usize + s];
                 p.queue_bytes = ep.data_q_bytes;
-                p.paused = ep.paused;
+                p.paused = ep.data_blocked();
             }
             self.snap_stamp.queue_gen = sw.snap_gen;
             self.snap_refreshes += 1;
@@ -1105,7 +1126,7 @@ impl Simulation {
             }
             self.path_scratch.push(PathInfo {
                 queue_bytes: ep.data_q_bytes,
-                paused: ep.paused,
+                paused: ep.data_blocked(),
                 warned,
                 rtt_ns: ls.rtt(s as usize, dst_leaf as usize),
                 ecn_fraction: ls.ecn(s as usize, dst_leaf as usize),
@@ -1218,7 +1239,8 @@ impl Simulation {
                     host.paused_since_ps = now_ps;
                 } else if !pause && host.paused {
                     host.paused = false;
-                    self.counters.paused_port_time_ps += now_ps - host.paused_since_ps;
+                    self.counters.paused_port_time_ps +=
+                        now_ps.saturating_sub(host.paused_since_ps);
                     self.host_try_send(h);
                 }
             }
@@ -1239,11 +1261,82 @@ impl Simulation {
                 };
                 if !pause && was_paused {
                     let since = self.switch_mut(node).egress[port as usize].paused_since_ps;
-                    self.counters.paused_port_time_ps += now_ps - since;
+                    self.counters.paused_port_time_ps += now_ps.saturating_sub(since);
                     self.try_transmit(node, port);
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Apply fault-timeline entry `i` (see [`crate::fault`]).
+    ///
+    /// Faults mutate link/NIC state and nothing else: no packet is dropped,
+    /// no queue is cleared, so the audit ledger balances across every
+    /// failure and recovery. Whatever a fault touched, the cached path
+    /// snapshot is invalidated wholesale — `link_rate_bps` and link state
+    /// are otherwise only read at rebuild time.
+    fn on_fault(&mut self, i: u32) {
+        match self.cfg.faults[i as usize].fault {
+            Fault::LinkDown { leaf, spine } => self.fault_set_link_down(leaf, spine, true),
+            Fault::LinkUp { leaf, spine } => self.fault_set_link_down(leaf, spine, false),
+            Fault::LinkRate {
+                leaf,
+                spine,
+                rate_bps,
+            } => self.fault_set_link_rate(leaf, spine, rate_bps),
+            Fault::SpineDown { spine } => {
+                for leaf in 0..self.cfg.topo.n_leaves {
+                    self.fault_set_link_down(leaf, spine, true);
+                }
+            }
+            Fault::SpineUp { spine } => {
+                for leaf in 0..self.cfg.topo.n_leaves {
+                    self.fault_set_link_down(leaf, spine, false);
+                }
+            }
+            Fault::LoadScale { permille } => {
+                self.host_rate_scale_permille = permille;
+            }
+        }
+        self.counters.faults_applied += 1;
+        self.snap_stamp = SnapStamp::invalid();
+    }
+
+    /// Fail or restore the bidirectional `leaf <-> spine` link. Idempotent.
+    /// Queued packets freeze on a downed port (the fault never drops); both
+    /// directions are kicked on recovery so frozen queues resume draining.
+    fn fault_set_link_down(&mut self, leaf: u32, spine: u32, down: bool) {
+        let up_port = self.topo.leaf_uplink_port(spine) as usize;
+        let lsw = &mut self.leaves[leaf as usize];
+        if lsw.egress[up_port].link_down != down {
+            lsw.egress[up_port].link_down = down;
+            lsw.snap_gen = lsw.snap_gen.wrapping_add(1);
+        }
+        let ssw = &mut self.spines[spine as usize];
+        if ssw.egress[leaf as usize].link_down != down {
+            ssw.egress[leaf as usize].link_down = down;
+            ssw.snap_gen = ssw.snap_gen.wrapping_add(1);
+        }
+        if !down {
+            self.try_transmit(Node::Leaf(leaf), up_port as u16);
+            self.try_transmit(Node::Spine(spine), leaf as u16);
+        }
+    }
+
+    /// Re-rate the bidirectional `leaf <-> spine` link (mid-run asymmetric
+    /// degradation). Frames already serializing finish at the old rate.
+    fn fault_set_link_rate(&mut self, leaf: u32, spine: u32, rate_bps: u64) {
+        let up_port = self.topo.leaf_uplink_port(spine) as usize;
+        let lsw = &mut self.leaves[leaf as usize];
+        lsw.egress[up_port].rate_bps = rate_bps;
+        lsw.snap_gen = lsw.snap_gen.wrapping_add(1);
+        let ssw = &mut self.spines[spine as usize];
+        ssw.egress[leaf as usize].rate_bps = rate_bps;
+        ssw.snap_gen = ssw.snap_gen.wrapping_add(1);
     }
 
     // ------------------------------------------------------------------
@@ -1389,7 +1482,7 @@ impl Simulation {
                 let Some(via_spine) = self.topo.spine_of_leaf_port(in_port) else {
                     return; // CNM from a host port: not meaningful
                 };
-                let until = now.as_ps() + warn_lifetime_ps;
+                let until = (now + SimDuration(warn_lifetime_ps)).as_ps();
                 let origin = decode_node(origin_node);
                 let sw = &mut self.leaves[l as usize];
                 let ls = sw.leaf.as_mut().expect("leaf state");

@@ -1,0 +1,1293 @@
+//! On-disk scenario specs: a hand-rolled TOML-subset reader and writer.
+//!
+//! The vendored serde is a no-op stub, so — like `bench/src/json.rs` — this
+//! module parses its format by hand, deterministically, with byte-exact
+//! round-trips ([`ScenarioSpec::to_spec_text`] emits the canonical form that
+//! [`ScenarioSpec::parse`] reads back to an equal value).
+//!
+//! The grammar is the TOML subset the scenario model needs, nothing more:
+//!
+//! ```text
+//! # comment (full line)
+//! [section]            # [scenario] | [topology]
+//! [[table]]            # [[workload]] | [[fault]] | [[load]]
+//! key = value          # value: integer (with _ separators), bool, "string"
+//! ```
+//!
+//! Every quantity is an integer: times in picoseconds (`*_ps`, the
+//! simulator's native clock), rates in bits/sec, loads and multipliers in
+//! permille (parts-per-thousand). No floats means no precision loss between
+//! a spec and its re-serialization.
+//!
+//! Errors carry a line/column span and render a rustc-style caret frame
+//! (pinned by snapshot tests), so a typo in a 60-line spec points at the
+//! offending token, not at "invalid config".
+
+use crate::config::{SimConfig, TopoConfig};
+use crate::fault::{self, Fault, TimedFault};
+use crate::scenario::Scenario;
+use rlb_core::RlbConfig;
+use rlb_engine::{substream, SimDuration, SimTime};
+use rlb_lb::Scheme;
+use rlb_workloads::{LoadCurve, PairPolicy, PoissonTraffic, Workload};
+use serde::Serialize;
+
+/// A parse error with the span it points at. `Display` renders a caret
+/// frame; keep the fields public so tools can re-render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Length of the underline (at least 1).
+    pub len: usize,
+    pub msg: String,
+    /// The full source line, for the frame.
+    pub src_line: String,
+    /// Optional hint printed under the carets.
+    pub help: Option<String>,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "error: {}", self.msg)?;
+        let num = self.line.to_string();
+        let pad = " ".repeat(num.len());
+        writeln!(f, "{pad}--> scenario spec, line {num}")?;
+        writeln!(f, "{pad} |")?;
+        writeln!(f, "{num} | {}", self.src_line)?;
+        let carets = "^".repeat(self.len.max(1));
+        write!(f, "{pad} | {}{carets}", " ".repeat(self.col.saturating_sub(1)))?;
+        if let Some(h) = &self.help {
+            write!(f, " {h}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One traffic component: Poisson arrivals of a named workload CDF at an
+/// offered load (permille of the healthy core capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct WorkloadEntry {
+    pub kind: Workload,
+    pub load_permille: u32,
+}
+
+impl Default for WorkloadEntry {
+    fn default() -> Self {
+        WorkloadEntry {
+            kind: Workload::WebSearch,
+            load_permille: 500,
+        }
+    }
+}
+
+/// One `[[fault]]` table: either a single timed fault or a flap pattern
+/// that expands into down/up pairs at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FaultEntry {
+    At(TimedFault),
+    Flap {
+        at: SimTime,
+        leaf: u32,
+        spine: u32,
+        down: SimDuration,
+        up: SimDuration,
+        cycles: u32,
+    },
+}
+
+/// Topology dimensions a spec may set; defaults mirror
+/// [`TopoConfig::default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TopoSpec {
+    pub n_leaves: u32,
+    pub n_spines: u32,
+    pub hosts_per_leaf: u32,
+    pub link_rate_bps: u64,
+    pub host_link_rate_bps: u64,
+    pub link_delay_ps: u64,
+}
+
+impl Default for TopoSpec {
+    fn default() -> Self {
+        let t = TopoConfig::default();
+        TopoSpec {
+            n_leaves: t.n_leaves,
+            n_spines: t.n_spines,
+            hosts_per_leaf: t.hosts_per_leaf,
+            link_rate_bps: t.link_rate_bps,
+            host_link_rate_bps: t.host_link_rate_bps,
+            link_delay_ps: t.link_delay_ps,
+        }
+    }
+}
+
+/// A declarative scenario: topology + workload mix + fault timeline +
+/// load curve. Parsed from spec text, buildable into a [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ScenarioSpec {
+    /// Display / job label ("scenario" if empty).
+    pub name: String,
+    pub scheme: Scheme,
+    /// Wrap the scheme in RLB (predictor + Algorithm 1, default params).
+    pub rlb: bool,
+    pub seed: u64,
+    /// Flow-arrival horizon (the run's hard stop is 25× this).
+    pub horizon: SimTime,
+    pub topo: TopoSpec,
+    /// Traffic mix: every entry generates independently and the flows merge.
+    pub workloads: Vec<WorkloadEntry>,
+    pub faults: Vec<FaultEntry>,
+    /// Offered-load curve points `(from, permille)` applied to every
+    /// workload entry.
+    pub load_points: Vec<(SimTime, u32)>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: String::new(),
+            scheme: Scheme::Drill,
+            rlb: false,
+            seed: 1,
+            horizon: SimTime::from_ms(4),
+            topo: TopoSpec::default(),
+            workloads: vec![WorkloadEntry::default()],
+            faults: Vec::new(),
+            load_points: Vec::new(),
+        }
+    }
+}
+
+fn scheme_name(s: Scheme) -> &'static str {
+    match s {
+        Scheme::Ecmp => "ecmp",
+        Scheme::Presto => "presto",
+        Scheme::LetFlow => "letflow",
+        Scheme::Hermes => "hermes",
+        Scheme::Drill => "drill",
+        Scheme::Conga => "conga",
+    }
+}
+
+const SCHEME_HELP: &str = "known schemes: ecmp, presto, letflow, hermes, drill, conga";
+
+fn scheme_from(name: &str) -> Option<Scheme> {
+    Some(match name {
+        "ecmp" => Scheme::Ecmp,
+        "presto" => Scheme::Presto,
+        "letflow" => Scheme::LetFlow,
+        "hermes" => Scheme::Hermes,
+        "drill" => Scheme::Drill,
+        "conga" => Scheme::Conga,
+        _ => return None,
+    })
+}
+
+fn workload_name(w: Workload) -> &'static str {
+    match w {
+        Workload::WebServer => "web_server",
+        Workload::CacheFollower => "cache_follower",
+        Workload::WebSearch => "web_search",
+        Workload::DataMining => "data_mining",
+    }
+}
+
+const WORKLOAD_HELP: &str =
+    "known workloads: web_server, cache_follower, web_search, data_mining";
+
+fn workload_from(name: &str) -> Option<Workload> {
+    Some(match name {
+        "web_server" => Workload::WebServer,
+        "cache_follower" => Workload::CacheFollower,
+        "web_search" => Workload::WebSearch,
+        "data_mining" => Workload::DataMining,
+        _ => return None,
+    })
+}
+
+const FAULT_HELP: &str =
+    "known fault kinds: link_down, link_up, link_rate, spine_down, spine_up, load_scale, flap";
+
+impl ScenarioSpec {
+    /// Job/display label.
+    pub fn label(&self) -> String {
+        if self.name.is_empty() {
+            "scenario".to_string()
+        } else {
+            self.name.clone()
+        }
+    }
+
+    /// Emit the canonical spec text: `parse(to_spec_text(s)) == s` exactly.
+    pub fn to_spec_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let w = &mut out;
+        let _ = writeln!(w, "# rlb-net scenario spec");
+        let _ = writeln!(w, "[scenario]");
+        let _ = writeln!(w, "name = \"{}\"", self.name);
+        let _ = writeln!(w, "scheme = \"{}\"", scheme_name(self.scheme));
+        let _ = writeln!(w, "rlb = {}", self.rlb);
+        let _ = writeln!(w, "seed = {}", self.seed);
+        let _ = writeln!(w, "horizon_ps = {}", self.horizon.as_ps());
+        let _ = writeln!(w);
+        let _ = writeln!(w, "[topology]");
+        let _ = writeln!(w, "n_leaves = {}", self.topo.n_leaves);
+        let _ = writeln!(w, "n_spines = {}", self.topo.n_spines);
+        let _ = writeln!(w, "hosts_per_leaf = {}", self.topo.hosts_per_leaf);
+        let _ = writeln!(w, "link_rate_bps = {}", self.topo.link_rate_bps);
+        let _ = writeln!(w, "host_link_rate_bps = {}", self.topo.host_link_rate_bps);
+        let _ = writeln!(w, "link_delay_ps = {}", self.topo.link_delay_ps);
+        for wl in &self.workloads {
+            let _ = writeln!(w);
+            let _ = writeln!(w, "[[workload]]");
+            let _ = writeln!(w, "kind = \"{}\"", workload_name(wl.kind));
+            let _ = writeln!(w, "load_permille = {}", wl.load_permille);
+        }
+        for f in &self.faults {
+            let _ = writeln!(w);
+            let _ = writeln!(w, "[[fault]]");
+            match *f {
+                FaultEntry::At(tf) => {
+                    let (kind, fields): (&str, Vec<(&str, u64)>) = match tf.fault {
+                        Fault::LinkDown { leaf, spine } => {
+                            ("link_down", vec![("leaf", leaf as u64), ("spine", spine as u64)])
+                        }
+                        Fault::LinkUp { leaf, spine } => {
+                            ("link_up", vec![("leaf", leaf as u64), ("spine", spine as u64)])
+                        }
+                        Fault::LinkRate {
+                            leaf,
+                            spine,
+                            rate_bps,
+                        } => (
+                            "link_rate",
+                            vec![
+                                ("leaf", leaf as u64),
+                                ("spine", spine as u64),
+                                ("rate_bps", rate_bps),
+                            ],
+                        ),
+                        Fault::SpineDown { spine } => ("spine_down", vec![("spine", spine as u64)]),
+                        Fault::SpineUp { spine } => ("spine_up", vec![("spine", spine as u64)]),
+                        Fault::LoadScale { permille } => {
+                            ("load_scale", vec![("permille", permille as u64)])
+                        }
+                    };
+                    let _ = writeln!(w, "kind = \"{kind}\"");
+                    let _ = writeln!(w, "at_ps = {}", tf.at.as_ps());
+                    for (k, v) in fields {
+                        let _ = writeln!(w, "{k} = {v}");
+                    }
+                }
+                FaultEntry::Flap {
+                    at,
+                    leaf,
+                    spine,
+                    down,
+                    up,
+                    cycles,
+                } => {
+                    let _ = writeln!(w, "kind = \"flap\"");
+                    let _ = writeln!(w, "at_ps = {}", at.as_ps());
+                    let _ = writeln!(w, "leaf = {leaf}");
+                    let _ = writeln!(w, "spine = {spine}");
+                    let _ = writeln!(w, "down_ps = {}", down.as_ps());
+                    let _ = writeln!(w, "up_ps = {}", up.as_ps());
+                    let _ = writeln!(w, "cycles = {cycles}");
+                }
+            }
+        }
+        for &(at, permille) in &self.load_points {
+            let _ = writeln!(w);
+            let _ = writeln!(w, "[[load]]");
+            let _ = writeln!(w, "at_ps = {}", at.as_ps());
+            let _ = writeln!(w, "permille = {permille}");
+        }
+        out
+    }
+
+    /// Parse spec text (see the module docs for the grammar).
+    pub fn parse(text: &str) -> Result<ScenarioSpec, SpecError> {
+        Parser::new(text).run()
+    }
+
+    /// Build the runnable scenario: expand flaps, sort the timeline, apply
+    /// the load curve to every workload component, and validate the result.
+    /// Semantic errors (no span — the spec was well-formed) come back as
+    /// plain strings.
+    pub fn build(&self) -> Result<Scenario, String> {
+        let topo = TopoConfig {
+            n_leaves: self.topo.n_leaves,
+            n_spines: self.topo.n_spines,
+            hosts_per_leaf: self.topo.hosts_per_leaf,
+            link_rate_bps: self.topo.link_rate_bps,
+            host_link_rate_bps: self.topo.host_link_rate_bps,
+            link_delay_ps: self.topo.link_delay_ps,
+            ..TopoConfig::default()
+        };
+        let curve = LoadCurve::new(self.load_points.clone())?;
+        let mut flows = Vec::new();
+        for (i, wl) in self.workloads.iter().enumerate() {
+            if wl.load_permille == 0 {
+                return Err(format!("workload {i} has zero load"));
+            }
+            let traffic = PoissonTraffic::with_load(
+                wl.kind.cdf(),
+                topo.n_hosts(),
+                PairPolicy::InterLeaf {
+                    hosts_per_leaf: topo.hosts_per_leaf,
+                },
+                wl.load_permille as f64 / 1000.0,
+                topo.core_bits_per_sec(),
+            );
+            let mut rng = substream(self.seed, b"spec-workload", i as u64);
+            flows.extend(traffic.generate_modulated(self.horizon, &curve, &mut rng));
+        }
+        flows.sort_by_key(|f| f.start);
+        let mut faults = Vec::new();
+        for entry in &self.faults {
+            match *entry {
+                FaultEntry::At(tf) => faults.push(tf),
+                FaultEntry::Flap {
+                    at,
+                    leaf,
+                    spine,
+                    down,
+                    up,
+                    cycles,
+                } => faults.extend(fault::flap(leaf, spine, at, down, up, cycles)),
+            }
+        }
+        faults.sort_by_key(|tf| tf.at);
+        let cfg = SimConfig {
+            topo,
+            scheme: self.scheme,
+            rlb: self.rlb.then(RlbConfig::default),
+            seed: self.seed,
+            hard_stop: SimTime::ZERO + self.horizon.as_duration().mul_u64(25),
+            faults,
+            ..SimConfig::default()
+        };
+        cfg.validate()?;
+        Ok(Scenario::new(cfg, flows))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// A scalar value with its source span.
+#[derive(Debug, Clone, Copy)]
+struct Val<'a> {
+    kind: ValKind<'a>,
+    col: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ValKind<'a> {
+    Int(u64),
+    Bool(bool),
+    Str(&'a str),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Section {
+    None,
+    Scenario,
+    Topology,
+    Workload,
+    Fault,
+    Load,
+}
+
+/// Accumulator for one `[[fault]]` table, finalized at the next header/EOF.
+#[derive(Default)]
+struct FaultBuild {
+    header_line: usize,
+    kind: Option<String>,
+    at: Option<u64>,
+    leaf: Option<u32>,
+    spine: Option<u32>,
+    rate_bps: Option<u64>,
+    permille: Option<u32>,
+    down: Option<u64>,
+    up: Option<u64>,
+    cycles: Option<u32>,
+}
+
+#[derive(Default)]
+struct LoadBuild {
+    header_line: usize,
+    at: Option<u64>,
+    permille: Option<u32>,
+}
+
+struct Parser<'a> {
+    lines: Vec<&'a str>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            lines: text.lines().collect(),
+        }
+    }
+
+    fn err(
+        &self,
+        line: usize,
+        col: usize,
+        len: usize,
+        msg: impl Into<String>,
+        help: Option<&str>,
+    ) -> SpecError {
+        SpecError {
+            line: line + 1,
+            col,
+            len,
+            msg: msg.into(),
+            src_line: self.lines.get(line).unwrap_or(&"").to_string(),
+            help: help.map(str::to_string),
+        }
+    }
+
+    fn run(self) -> Result<ScenarioSpec, SpecError> {
+        let mut spec = ScenarioSpec {
+            workloads: Vec::new(),
+            ..ScenarioSpec::default()
+        };
+        let mut sect = Section::None;
+        let mut fault: Option<FaultBuild> = None;
+        let mut load: Option<LoadBuild> = None;
+
+        for i in 0..self.lines.len() {
+            let raw = self.lines[i];
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if trimmed.starts_with('[') {
+                self.finalize_tables(&mut spec, &mut fault, &mut load)?;
+                sect = self.parse_header(i, raw, trimmed, &mut spec, &mut fault, &mut load)?;
+                continue;
+            }
+            let (key, key_col, val) = self.parse_kv(i)?;
+            match sect {
+                Section::None => {
+                    return Err(self.err(
+                        i,
+                        key_col,
+                        key.len(),
+                        format!("key `{key}` before any section header"),
+                        Some("start with [scenario]"),
+                    ));
+                }
+                Section::Scenario => self.scenario_key(i, key, key_col, val, &mut spec)?,
+                Section::Topology => self.topology_key(i, key, key_col, val, &mut spec)?,
+                Section::Workload => {
+                    let wl = spec.workloads.last_mut().expect("open workload table");
+                    match key {
+                        "kind" => {
+                            let s = self.as_str(i, val)?;
+                            wl.kind = workload_from(s).ok_or_else(|| {
+                                self.err(
+                                    i,
+                                    val.col,
+                                    val.len,
+                                    format!("unknown workload `{s}`"),
+                                    Some(WORKLOAD_HELP),
+                                )
+                            })?;
+                        }
+                        "load_permille" => wl.load_permille = self.as_u32(i, val)?,
+                        _ => {
+                            return Err(self.unknown_key(
+                                i,
+                                key,
+                                key_col,
+                                "[[workload]]",
+                                "kind, load_permille",
+                            ))
+                        }
+                    }
+                }
+                Section::Fault => {
+                    let fb = fault.as_mut().expect("open fault table");
+                    match key {
+                        "kind" => fb.kind = Some(self.as_str(i, val)?.to_string()),
+                        "at_ps" => fb.at = Some(self.as_u64(i, val)?),
+                        "leaf" => fb.leaf = Some(self.as_u32(i, val)?),
+                        "spine" => fb.spine = Some(self.as_u32(i, val)?),
+                        "rate_bps" => fb.rate_bps = Some(self.as_u64(i, val)?),
+                        "permille" => fb.permille = Some(self.as_u32(i, val)?),
+                        "down_ps" => fb.down = Some(self.as_u64(i, val)?),
+                        "up_ps" => fb.up = Some(self.as_u64(i, val)?),
+                        "cycles" => fb.cycles = Some(self.as_u32(i, val)?),
+                        _ => {
+                            return Err(self.unknown_key(
+                                i,
+                                key,
+                                key_col,
+                                "[[fault]]",
+                                "kind, at_ps, leaf, spine, rate_bps, permille, down_ps, up_ps, cycles",
+                            ))
+                        }
+                    }
+                    // Validate the kind as soon as it appears, at its span.
+                    if key == "kind" {
+                        let k = fb.kind.as_deref().unwrap_or("");
+                        if !matches!(
+                            k,
+                            "link_down"
+                                | "link_up"
+                                | "link_rate"
+                                | "spine_down"
+                                | "spine_up"
+                                | "load_scale"
+                                | "flap"
+                        ) {
+                            return Err(self.err(
+                                i,
+                                val.col,
+                                val.len,
+                                format!("unknown fault kind `{k}`"),
+                                Some(FAULT_HELP),
+                            ));
+                        }
+                    }
+                }
+                Section::Load => {
+                    let lb = load.as_mut().expect("open load table");
+                    match key {
+                        "at_ps" => lb.at = Some(self.as_u64(i, val)?),
+                        "permille" => lb.permille = Some(self.as_u32(i, val)?),
+                        _ => {
+                            return Err(self.unknown_key(
+                                i,
+                                key,
+                                key_col,
+                                "[[load]]",
+                                "at_ps, permille",
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        self.finalize_tables(&mut spec, &mut fault, &mut load)?;
+        if spec.workloads.is_empty() {
+            spec.workloads.push(WorkloadEntry::default());
+        }
+        Ok(spec)
+    }
+
+    fn parse_header(
+        &self,
+        i: usize,
+        raw: &str,
+        trimmed: &str,
+        spec: &mut ScenarioSpec,
+        fault: &mut Option<FaultBuild>,
+        load: &mut Option<LoadBuild>,
+    ) -> Result<Section, SpecError> {
+        let col = raw.find('[').map(|c| c + 1).unwrap_or(1);
+        if let Some(name) = trimmed
+            .strip_prefix("[[")
+            .and_then(|r| r.strip_suffix("]]"))
+        {
+            return match name {
+                "workload" => {
+                    spec.workloads.push(WorkloadEntry::default());
+                    Ok(Section::Workload)
+                }
+                "fault" => {
+                    *fault = Some(FaultBuild {
+                        header_line: i,
+                        ..FaultBuild::default()
+                    });
+                    Ok(Section::Fault)
+                }
+                "load" => {
+                    *load = Some(LoadBuild {
+                        header_line: i,
+                        ..LoadBuild::default()
+                    });
+                    Ok(Section::Load)
+                }
+                _ => Err(self.err(
+                    i,
+                    col,
+                    trimmed.len(),
+                    format!("unknown table `[[{name}]]`"),
+                    Some("known tables: [[workload]], [[fault]], [[load]]"),
+                )),
+            };
+        }
+        if let Some(name) = trimmed.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            return match name {
+                "scenario" => Ok(Section::Scenario),
+                "topology" => Ok(Section::Topology),
+                _ => Err(self.err(
+                    i,
+                    col,
+                    trimmed.len(),
+                    format!("unknown section `[{name}]`"),
+                    Some("known sections: [scenario], [topology]"),
+                )),
+            };
+        }
+        Err(self.err(
+            i,
+            col,
+            trimmed.len(),
+            "malformed section header",
+            Some("expected [section] or [[table]]"),
+        ))
+    }
+
+    fn scenario_key(
+        &self,
+        i: usize,
+        key: &str,
+        key_col: usize,
+        val: Val<'a>,
+        spec: &mut ScenarioSpec,
+    ) -> Result<(), SpecError> {
+        match key {
+            "name" => spec.name = self.as_str(i, val)?.to_string(),
+            "scheme" => {
+                let s = self.as_str(i, val)?;
+                spec.scheme = scheme_from(s).ok_or_else(|| {
+                    self.err(
+                        i,
+                        val.col,
+                        val.len,
+                        format!("unknown scheme `{s}`"),
+                        Some(SCHEME_HELP),
+                    )
+                })?;
+            }
+            "rlb" => spec.rlb = self.as_bool(i, val)?,
+            "seed" => spec.seed = self.as_u64(i, val)?,
+            "horizon_ps" => spec.horizon = SimTime(self.as_u64(i, val)?),
+            _ => {
+                return Err(self.unknown_key(
+                    i,
+                    key,
+                    key_col,
+                    "[scenario]",
+                    "name, scheme, rlb, seed, horizon_ps",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn topology_key(
+        &self,
+        i: usize,
+        key: &str,
+        key_col: usize,
+        val: Val<'a>,
+        spec: &mut ScenarioSpec,
+    ) -> Result<(), SpecError> {
+        match key {
+            "n_leaves" => spec.topo.n_leaves = self.as_u32(i, val)?,
+            "n_spines" => spec.topo.n_spines = self.as_u32(i, val)?,
+            "hosts_per_leaf" => spec.topo.hosts_per_leaf = self.as_u32(i, val)?,
+            "link_rate_bps" => spec.topo.link_rate_bps = self.as_u64(i, val)?,
+            "host_link_rate_bps" => spec.topo.host_link_rate_bps = self.as_u64(i, val)?,
+            "link_delay_ps" => spec.topo.link_delay_ps = self.as_u64(i, val)?,
+            _ => {
+                return Err(self.unknown_key(
+                    i,
+                    key,
+                    key_col,
+                    "[topology]",
+                    "n_leaves, n_spines, hosts_per_leaf, link_rate_bps, \
+                     host_link_rate_bps, link_delay_ps",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Close any open `[[fault]]` / `[[load]]` table, checking required
+    /// fields (errors point at the table's header line).
+    fn finalize_tables(
+        &self,
+        spec: &mut ScenarioSpec,
+        fault: &mut Option<FaultBuild>,
+        load: &mut Option<LoadBuild>,
+    ) -> Result<(), SpecError> {
+        if let Some(fb) = fault.take() {
+            spec.faults.push(self.finish_fault(fb)?);
+        }
+        if let Some(lb) = load.take() {
+            let missing = match (lb.at, lb.permille) {
+                (None, _) => Some("at_ps"),
+                (_, None) => Some("permille"),
+                _ => None,
+            };
+            if let Some(m) = missing {
+                return Err(self.table_err(lb.header_line, format!("[[load]] is missing `{m}`")));
+            }
+            spec.load_points
+                .push((SimTime(lb.at.expect("checked")), lb.permille.expect("checked")));
+        }
+        Ok(())
+    }
+
+    fn finish_fault(&self, fb: FaultBuild) -> Result<FaultEntry, SpecError> {
+        let h = fb.header_line;
+        let kind = fb
+            .kind
+            .as_deref()
+            .ok_or_else(|| self.table_err(h, "[[fault]] is missing `kind`"))?;
+        let at = SimTime(
+            fb.at
+                .ok_or_else(|| self.table_err(h, format!("[[fault]] `{kind}` is missing `at_ps`")))?,
+        );
+        let need = |field: Option<u32>, name: &str| {
+            field.ok_or_else(|| {
+                self.table_err(h, format!("[[fault]] `{kind}` is missing `{name}`"))
+            })
+        };
+        let entry = match kind {
+            "link_down" => FaultEntry::At(TimedFault::new(
+                at,
+                Fault::LinkDown {
+                    leaf: need(fb.leaf, "leaf")?,
+                    spine: need(fb.spine, "spine")?,
+                },
+            )),
+            "link_up" => FaultEntry::At(TimedFault::new(
+                at,
+                Fault::LinkUp {
+                    leaf: need(fb.leaf, "leaf")?,
+                    spine: need(fb.spine, "spine")?,
+                },
+            )),
+            "link_rate" => FaultEntry::At(TimedFault::new(
+                at,
+                Fault::LinkRate {
+                    leaf: need(fb.leaf, "leaf")?,
+                    spine: need(fb.spine, "spine")?,
+                    rate_bps: fb.rate_bps.ok_or_else(|| {
+                        self.table_err(h, "[[fault]] `link_rate` is missing `rate_bps`")
+                    })?,
+                },
+            )),
+            "spine_down" => FaultEntry::At(TimedFault::new(
+                at,
+                Fault::SpineDown {
+                    spine: need(fb.spine, "spine")?,
+                },
+            )),
+            "spine_up" => FaultEntry::At(TimedFault::new(
+                at,
+                Fault::SpineUp {
+                    spine: need(fb.spine, "spine")?,
+                },
+            )),
+            "load_scale" => FaultEntry::At(TimedFault::new(
+                at,
+                Fault::LoadScale {
+                    permille: need(fb.permille, "permille")?,
+                },
+            )),
+            "flap" => FaultEntry::Flap {
+                at,
+                leaf: need(fb.leaf, "leaf")?,
+                spine: need(fb.spine, "spine")?,
+                down: SimDuration(fb.down.ok_or_else(|| {
+                    self.table_err(h, "[[fault]] `flap` is missing `down_ps`")
+                })?),
+                up: SimDuration(
+                    fb.up
+                        .ok_or_else(|| self.table_err(h, "[[fault]] `flap` is missing `up_ps`"))?,
+                ),
+                cycles: need(fb.cycles, "cycles")?,
+            },
+            other => unreachable!("kind `{other}` validated at parse time"),
+        };
+        Ok(entry)
+    }
+
+    fn table_err(&self, header_line: usize, msg: impl Into<String>) -> SpecError {
+        let raw = self.lines.get(header_line).copied().unwrap_or("");
+        let col = raw.find('[').map(|c| c + 1).unwrap_or(1);
+        self.err(header_line, col, raw.trim().len(), msg, None)
+    }
+
+    fn unknown_key(
+        &self,
+        i: usize,
+        key: &str,
+        key_col: usize,
+        section: &str,
+        known: &str,
+    ) -> SpecError {
+        self.err(
+            i,
+            key_col,
+            key.len(),
+            format!("unknown key `{key}` in {section}"),
+            Some(&format!("known keys: {known}")),
+        )
+    }
+
+    /// Split `key = value`, returning the key, its 1-based column, and the
+    /// parsed scalar value with its span.
+    fn parse_kv(&self, i: usize) -> Result<(&'a str, usize, Val<'a>), SpecError> {
+        let line: &'a str = self.lines[i];
+        let eq = line.find('=').ok_or_else(|| {
+            let col = line.len() - line.trim_start().len() + 1;
+            self.err(
+                i,
+                col,
+                line.trim().len(),
+                "expected `key = value`",
+                None,
+            )
+        })?;
+        let key_part = &line[..eq];
+        let key = key_part.trim();
+        if key.is_empty() {
+            return Err(self.err(i, 1, eq.max(1), "missing key before `=`", None));
+        }
+        let key_col = key_part.len() - key_part.trim_start().len() + 1;
+        let val_off = eq + 1;
+        let rest = &line[val_off..];
+        let lead = rest.len() - rest.trim_start().len();
+        let vcol = val_off + lead + 1; // 1-based column of the value
+        let tok = rest.trim();
+        if tok.is_empty() {
+            return Err(self.err(i, vcol.saturating_sub(1), 1, format!("missing value for `{key}`"), None));
+        }
+        let kind = if let Some(inner) = tok.strip_prefix('"') {
+            let Some(body) = inner.strip_suffix('"').filter(|_| tok.len() >= 2) else {
+                return Err(self.err(i, vcol, tok.len(), "unterminated string", None));
+            };
+            if body.contains('\\') || body.contains('"') {
+                return Err(self.err(
+                    i,
+                    vcol,
+                    tok.len(),
+                    "escape sequences are not supported in spec strings",
+                    None,
+                ));
+            }
+            ValKind::Str(body)
+        } else if tok == "true" {
+            ValKind::Bool(true)
+        } else if tok == "false" {
+            ValKind::Bool(false)
+        } else if tok.bytes().all(|b| b.is_ascii_digit() || b == b'_') {
+            let digits: String = tok.chars().filter(|c| *c != '_').collect();
+            match digits.parse::<u64>() {
+                Ok(n) => ValKind::Int(n),
+                Err(_) => {
+                    return Err(self.err(
+                        i,
+                        vcol,
+                        tok.len(),
+                        format!("integer `{tok}` does not fit in 64 bits"),
+                        None,
+                    ))
+                }
+            }
+        } else {
+            return Err(self.err(
+                i,
+                vcol,
+                tok.len(),
+                format!("cannot parse value `{tok}`"),
+                Some("expected an integer, true/false, or a \"quoted string\""),
+            ));
+        };
+        Ok((
+            key,
+            key_col,
+            Val {
+                kind,
+                col: vcol,
+                len: tok.len(),
+            },
+        ))
+    }
+
+    fn as_u64(&self, i: usize, v: Val<'a>) -> Result<u64, SpecError> {
+        match v.kind {
+            ValKind::Int(n) => Ok(n),
+            _ => Err(self.err(i, v.col, v.len, "expected an integer", None)),
+        }
+    }
+
+    fn as_u32(&self, i: usize, v: Val<'a>) -> Result<u32, SpecError> {
+        let n = self.as_u64(i, v)?;
+        u32::try_from(n).map_err(|_| {
+            self.err(i, v.col, v.len, format!("{n} does not fit in 32 bits"), None)
+        })
+    }
+
+    fn as_bool(&self, i: usize, v: Val<'a>) -> Result<bool, SpecError> {
+        match v.kind {
+            ValKind::Bool(b) => Ok(b),
+            _ => Err(self.err(i, v.col, v.len, "expected true or false", None)),
+        }
+    }
+
+    fn as_str(&self, i: usize, v: Val<'a>) -> Result<&'a str, SpecError> {
+        match v.kind {
+            ValKind::Str(s) => Ok(s),
+            _ => Err(self.err(i, v.col, v.len, "expected a \"quoted string\"", None)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# A failure-sweep example.
+[scenario]
+name = "two-link-outage"
+scheme = "drill"
+rlb = true
+seed = 7
+horizon_ps = 2_000_000_000
+
+[topology]
+n_leaves = 4
+n_spines = 4
+hosts_per_leaf = 8
+
+[[workload]]
+kind = "web_search"
+load_permille = 500
+
+[[fault]]
+kind = "link_down"
+at_ps = 200_000_000
+leaf = 0
+spine = 1
+
+[[fault]]
+kind = "link_up"
+at_ps = 900_000_000
+leaf = 0
+spine = 1
+
+[[fault]]
+kind = "flap"
+at_ps = 300_000_000
+leaf = 2
+spine = 3
+down_ps = 50_000_000
+up_ps = 50_000_000
+cycles = 2
+
+[[load]]
+at_ps = 1_000_000_000
+permille = 1500
+"#;
+
+    #[test]
+    fn parses_the_example() {
+        let s = ScenarioSpec::parse(EXAMPLE).expect("example parses");
+        assert_eq!(s.name, "two-link-outage");
+        assert_eq!(s.scheme, Scheme::Drill);
+        assert!(s.rlb);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.horizon, SimTime::from_ms(2));
+        assert_eq!(s.topo.n_leaves, 4);
+        assert_eq!(s.workloads.len(), 1);
+        assert_eq!(s.workloads[0].load_permille, 500);
+        assert_eq!(s.faults.len(), 3);
+        assert_eq!(
+            s.faults[0],
+            FaultEntry::At(TimedFault::new(
+                SimTime::from_us(200),
+                Fault::LinkDown { leaf: 0, spine: 1 }
+            ))
+        );
+        assert!(matches!(s.faults[2], FaultEntry::Flap { cycles: 2, .. }));
+        assert_eq!(s.load_points, vec![(SimTime::from_ms(1), 1500)]);
+    }
+
+    #[test]
+    fn canonical_text_round_trips() {
+        let s = ScenarioSpec::parse(EXAMPLE).unwrap();
+        let text = s.to_spec_text();
+        let back = ScenarioSpec::parse(&text).expect("canonical text parses");
+        assert_eq!(s, back);
+        // And the canonical form is a fixed point.
+        assert_eq!(text, back.to_spec_text());
+    }
+
+    #[test]
+    fn builds_a_runnable_scenario() {
+        let s = ScenarioSpec::parse(EXAMPLE).unwrap();
+        let sc = s.build().expect("builds");
+        assert!(sc.cfg.rlb.is_some());
+        // 1 down + 1 up + flap(2 cycles → 4 entries) = 6, sorted.
+        assert_eq!(sc.cfg.faults.len(), 6);
+        assert!(sc.cfg.faults.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(!sc.flows.is_empty());
+        sc.cfg.validate().expect("built config validates");
+    }
+
+    #[test]
+    fn default_spec_builds_and_round_trips() {
+        let s = ScenarioSpec::default();
+        let back = ScenarioSpec::parse(&s.to_spec_text()).unwrap();
+        assert_eq!(s, back);
+        assert!(s.build().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_fault_is_a_build_error() {
+        let mut s = ScenarioSpec::default();
+        s.faults.push(FaultEntry::At(TimedFault::new(
+            SimTime::ZERO,
+            Fault::LinkDown { leaf: 99, spine: 0 },
+        )));
+        let e = s.build().unwrap_err();
+        assert!(e.contains("leaf 99 out of range"), "{e}");
+    }
+
+    // --- snapshot tests: malformed specs must render exactly these frames ---
+
+    fn render_err(text: &str) -> String {
+        ScenarioSpec::parse(text).expect_err("must fail").to_string()
+    }
+
+    #[test]
+    fn snapshot_unknown_fault_kind() {
+        let text = "[scenario]\nseed = 1\n\n[[fault]]\nkind = \"link_donw\"\nat_ps = 5\nleaf = 0\nspine = 0\n";
+        assert_eq!(
+            render_err(text),
+            "error: unknown fault kind `link_donw`\n \
+             --> scenario spec, line 5\n  \
+             |\n\
+             5 | kind = \"link_donw\"\n  \
+             |        ^^^^^^^^^^^ known fault kinds: link_down, link_up, link_rate, \
+             spine_down, spine_up, load_scale, flap"
+        );
+    }
+
+    #[test]
+    fn snapshot_unknown_key() {
+        let text = "[scenario]\nsede = 1\n";
+        assert_eq!(
+            render_err(text),
+            "error: unknown key `sede` in [scenario]\n \
+             --> scenario spec, line 2\n  \
+             |\n\
+             2 | sede = 1\n  \
+             | ^^^^ known keys: name, scheme, rlb, seed, horizon_ps"
+        );
+    }
+
+    #[test]
+    fn snapshot_missing_required_field_points_at_header() {
+        let text = "[scenario]\nseed = 1\n\n[[fault]]\nkind = \"link_down\"\nat_ps = 5\nleaf = 0\n";
+        assert_eq!(
+            render_err(text),
+            "error: [[fault]] `link_down` is missing `spine`\n \
+             --> scenario spec, line 4\n  \
+             |\n\
+             4 | [[fault]]\n  \
+             | ^^^^^^^^^"
+        );
+    }
+
+    #[test]
+    fn snapshot_bad_value() {
+        let text = "[scenario]\nseed = maybe\n";
+        assert_eq!(
+            render_err(text),
+            "error: cannot parse value `maybe`\n \
+             --> scenario spec, line 2\n  \
+             |\n\
+             2 | seed = maybe\n  \
+             |        ^^^^^ expected an integer, true/false, or a \"quoted string\""
+        );
+    }
+
+    #[test]
+    fn snapshot_unknown_section() {
+        let text = "[scenari]\n";
+        assert_eq!(
+            render_err(text),
+            "error: unknown section `[scenari]`\n \
+             --> scenario spec, line 1\n  \
+             |\n\
+             1 | [scenari]\n  \
+             | ^^^^^^^^^ known sections: [scenario], [topology]"
+        );
+    }
+
+    #[test]
+    fn snapshot_key_outside_section() {
+        let text = "seed = 1\n";
+        assert_eq!(
+            render_err(text),
+            "error: key `seed` before any section header\n \
+             --> scenario spec, line 1\n  \
+             |\n\
+             1 | seed = 1\n  \
+             | ^^^^ start with [scenario]"
+        );
+    }
+
+    mod roundtrip {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_name() -> BoxedStrategy<String> {
+            prop_oneof![
+                Just(String::new()),
+                Just("outage".to_string()),
+                Just("fail-sweep-x4".to_string()),
+                Just("ramp_2".to_string()),
+            ]
+            .boxed()
+        }
+
+        fn arb_scheme() -> BoxedStrategy<Scheme> {
+            prop_oneof![
+                Just(Scheme::Ecmp),
+                Just(Scheme::Presto),
+                Just(Scheme::LetFlow),
+                Just(Scheme::Hermes),
+                Just(Scheme::Drill),
+                Just(Scheme::Conga),
+            ]
+            .boxed()
+        }
+
+        fn arb_workload() -> BoxedStrategy<WorkloadEntry> {
+            (0usize..4, 1u32..3000)
+                .prop_map(|(i, load_permille)| WorkloadEntry {
+                    kind: Workload::ALL[i],
+                    load_permille,
+                })
+                .boxed()
+        }
+
+        fn arb_fault() -> BoxedStrategy<FaultEntry> {
+            let at = 0u64..10_000_000_000_000u64;
+            prop_oneof![
+                (at.clone(), 0u32..16, 0u32..16).prop_map(|(t, leaf, spine)| FaultEntry::At(
+                    TimedFault::new(SimTime(t), Fault::LinkDown { leaf, spine })
+                )),
+                (at.clone(), 0u32..16, 0u32..16).prop_map(|(t, leaf, spine)| FaultEntry::At(
+                    TimedFault::new(SimTime(t), Fault::LinkUp { leaf, spine })
+                )),
+                (at.clone(), 0u32..16, 0u32..16, 1u64..100_000_000_000).prop_map(
+                    |(t, leaf, spine, rate_bps)| FaultEntry::At(TimedFault::new(
+                        SimTime(t),
+                        Fault::LinkRate {
+                            leaf,
+                            spine,
+                            rate_bps
+                        }
+                    ))
+                ),
+                (at.clone(), 0u32..16).prop_map(|(t, spine)| FaultEntry::At(TimedFault::new(
+                    SimTime(t),
+                    Fault::SpineDown { spine }
+                ))),
+                (at.clone(), 0u32..16).prop_map(|(t, spine)| FaultEntry::At(TimedFault::new(
+                    SimTime(t),
+                    Fault::SpineUp { spine }
+                ))),
+                (at.clone(), 1u32..5000).prop_map(|(t, permille)| FaultEntry::At(
+                    TimedFault::new(SimTime(t), Fault::LoadScale { permille })
+                )),
+                (at, (0u32..16, 0u32..16), (1u64..1_000_000_000, 1u64..1_000_000_000), 1u32..6)
+                    .prop_map(|(t, (leaf, spine), (down, up), cycles)| FaultEntry::Flap {
+                        at: SimTime(t),
+                        leaf,
+                        spine,
+                        down: SimDuration(down),
+                        up: SimDuration(up),
+                        cycles,
+                    }),
+            ]
+            .boxed()
+        }
+
+        fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
+            (
+                (arb_name(), arb_scheme(), any::<bool>(), any::<u64>(), 1u64..10_000_000_000_000),
+                (2u32..8, 2u32..8, 1u32..16),
+                proptest::collection::vec(arb_workload(), 0..3),
+                proptest::collection::vec(arb_fault(), 0..5),
+                proptest::collection::vec((0u64..10_000_000_000_000u64, 1u32..4000), 0..4),
+            )
+                .prop_map(
+                    |((name, scheme, rlb, seed, horizon), (nl, ns, hpl), mut workloads, faults, loads)| {
+                        if workloads.is_empty() {
+                            // parse() restores the default mix for empty
+                            // spec files, so canonical equality needs ≥1.
+                            workloads.push(WorkloadEntry::default());
+                        }
+                        ScenarioSpec {
+                            name,
+                            scheme,
+                            rlb,
+                            seed,
+                            horizon: SimTime(horizon),
+                            topo: TopoSpec {
+                                n_leaves: nl,
+                                n_spines: ns,
+                                hosts_per_leaf: hpl,
+                                ..TopoSpec::default()
+                            },
+                            workloads,
+                            faults,
+                            load_points: loads
+                                .into_iter()
+                                .map(|(t, p)| (SimTime(t), p))
+                                .collect(),
+                        }
+                    },
+                )
+                .boxed()
+        }
+
+        proptest! {
+            /// Spec → canonical text → spec is the identity, for arbitrary
+            /// well-formed specs (including unsorted fault timelines and
+            /// out-of-range topology indices — syntax round-trips even when
+            /// `build()` would reject the semantics).
+            #[test]
+            fn arbitrary_specs_round_trip(spec in arb_spec()) {
+                let text = spec.to_spec_text();
+                let back = ScenarioSpec::parse(&text)
+                    .expect("canonical text must re-parse");
+                prop_assert_eq!(&spec, &back);
+                prop_assert_eq!(text, back.to_spec_text());
+            }
+        }
+    }
+
+    #[test]
+    fn error_spans_point_at_the_token() {
+        let e = ScenarioSpec::parse("[scenario]\nscheme = \"dril\"\n").unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (2, 10, 6));
+        let e = ScenarioSpec::parse("[scenario]\nrlb = 3\n").unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (2, 7, 1));
+        assert_eq!(e.msg, "expected true or false");
+    }
+}

@@ -33,6 +33,19 @@ pub struct EgressPort {
     pub paused_since_ps: u64,
     /// Rate of the attached channel, bits/sec.
     pub rate_bps: u64,
+    /// The attached link is failed (fault injection). Unlike `paused`, this
+    /// blocks *both* traffic classes — a dead wire carries no PFC frames
+    /// either. Queued packets freeze in place until recovery.
+    pub link_down: bool,
+}
+
+impl EgressPort {
+    /// True when the data class cannot leave this port right now, whether
+    /// throttled (PFC) or physically dead (fault). This is the signal
+    /// surfaced as `PathInfo::paused` in path snapshots.
+    pub fn data_blocked(&self) -> bool {
+        self.paused || self.link_down
+    }
 }
 
 /// Per-leaf load-balancing state: the deployed scheme (optionally wrapped
@@ -279,6 +292,9 @@ impl Switch {
     pub fn next_to_transmit(&mut self, port: u16) -> Option<Packet> {
         let ep = &mut self.egress[port as usize];
         debug_assert!(!ep.busy);
+        if ep.link_down {
+            return None;
+        }
         if let Some(pkt) = ep.ctrl_q.pop_front() {
             return Some(pkt);
         }

@@ -14,6 +14,7 @@
 
 pub mod burst;
 pub mod cdf;
+pub mod curve;
 pub mod incast;
 pub mod patterns;
 pub mod poisson;
@@ -21,6 +22,7 @@ pub mod spec;
 
 pub use burst::{congested_flow, BurstConfig};
 pub use cdf::{SizeCdf, Workload};
+pub use curve::LoadCurve;
 pub use patterns::{all_to_all, permutation};
 pub use incast::IncastConfig;
 pub use poisson::{PairPolicy, PoissonTraffic};

@@ -7,6 +7,7 @@
 //! bytes is `λ = ρ·C / (8·S̄)` flows per second.
 
 use crate::cdf::SizeCdf;
+use crate::curve::LoadCurve;
 use crate::spec::FlowSpec;
 use rand::Rng;
 use rlb_engine::{SimDuration, SimTime};
@@ -71,12 +72,30 @@ impl PoissonTraffic {
 
     /// Generate all flows arriving in `[0, horizon)`.
     pub fn generate<R: Rng>(&self, horizon: SimTime, rng: &mut R) -> Vec<FlowSpec> {
+        self.generate_modulated(horizon, &LoadCurve::flat(), rng)
+    }
+
+    /// Like [`Self::generate`], with the arrival intensity modulated by a
+    /// piecewise-constant [`LoadCurve`]: inside a segment at `m` permille,
+    /// inter-arrival gaps stretch by `1000/m` (so `m = 2000` doubles the
+    /// offered load, `m = 500` halves it). The segment is sampled at the
+    /// previous arrival's instant — exact for gaps that don't straddle a
+    /// segment boundary, and a one-gap approximation when they do. With a
+    /// flat curve the gap math multiplies by exactly 1.0, so this emits the
+    /// same flow sequence as the unmodulated generator, bit for bit.
+    pub fn generate_modulated<R: Rng>(
+        &self,
+        horizon: SimTime,
+        curve: &LoadCurve,
+        rng: &mut R,
+    ) -> Vec<FlowSpec> {
         let mut flows = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
             // Exponential inter-arrival via inverse transform.
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-            let gap = (-u.ln()) * self.mean_interarrival.as_ps() as f64;
+            let base = (-u.ln()) * self.mean_interarrival.as_ps() as f64;
+            let gap = base * (1000.0 / curve.permille_at(t).max(1) as f64);
             t += SimDuration(gap.round().max(1.0) as u64);
             if t >= horizon {
                 break;
@@ -126,6 +145,43 @@ mod tests {
             assert!(w[0].start <= w[1].start);
         }
         assert!(flows.last().unwrap().start < SimTime::from_ms(50));
+    }
+
+    #[test]
+    fn flat_curve_modulation_is_the_identity() {
+        let (tr, flows) = gen(0.4, 50, 11);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let modulated = tr.generate_modulated(SimTime::from_ms(50), &LoadCurve::flat(), &mut rng);
+        assert_eq!(flows, modulated);
+    }
+
+    #[test]
+    fn load_curve_scales_arrival_density_per_segment() {
+        let tr = PoissonTraffic::with_load(
+            SizeCdf::web_search(),
+            32,
+            PairPolicy::InterLeaf { hosts_per_leaf: 8 },
+            0.4,
+            4.0 * 40e9,
+        );
+        // Half load for the first 100 ms, triple load after.
+        let curve = LoadCurve::new(vec![
+            (SimTime::ZERO, 500),
+            (SimTime::from_ms(100), 3000),
+        ])
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(21);
+        let flows = tr.generate_modulated(SimTime::from_ms(200), &curve, &mut rng);
+        let early = flows
+            .iter()
+            .filter(|f| f.start < SimTime::from_ms(100))
+            .count();
+        let late = flows.len() - early;
+        // 6× intensity ratio; allow generous sampling noise.
+        assert!(
+            late > early * 3,
+            "expected the 3000-permille half to dominate: {early} early vs {late} late"
+        );
     }
 
     #[test]

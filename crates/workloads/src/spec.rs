@@ -4,7 +4,7 @@ use rlb_engine::SimTime;
 use serde::Serialize;
 
 /// One application flow to inject into the simulation.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct FlowSpec {
     /// Arrival time of the first byte at the sender NIC.
     #[serde(skip)]

@@ -13,7 +13,9 @@ use proptest::prelude::*;
 use rlb::core::RlbConfig;
 use rlb::engine::{SimDuration, SimTime};
 use rlb::lb::Scheme;
-use rlb::net::scenario::{incast_scenario, motivation, IncastScenarioConfig, MotivationConfig};
+use rlb::net::scenario::{
+    FailSweepConfig, IncastScenarioConfig, MotivationConfig, Scenario,
+};
 
 fn any_scheme() -> impl Strategy<Value = Scheme> {
     prop_oneof![
@@ -43,7 +45,7 @@ proptest! {
         requests in 1u32..4,
         response_kb in 50u64..2_000,
     ) {
-        let mut sc = incast_scenario(
+        let mut sc = Scenario::incast(
             &IncastScenarioConfig {
                 degree,
                 requests,
@@ -70,7 +72,7 @@ proptest! {
         flows_per_burst in 10u32..60,
         affected in 2u32..8,
     ) {
-        let mut sc = motivation(
+        let mut sc = Scenario::motivation(
             &MotivationConfig {
                 n_paths: 12,
                 n_background: 8,
@@ -89,5 +91,40 @@ proptest! {
         sc.cfg.audit_every_events = 256;
         let res = sc.run();
         prop_assert!(res.counters.pause_frames > 0, "storm must trigger PFC");
+    }
+
+    /// Fault injection must not leak packets: downed links freeze their
+    /// queues instead of dropping, so conservation holds through every
+    /// outage and recovery. Random failure counts, seeds and schemes, with
+    /// the auditor cross-checking every 256 events.
+    #[test]
+    fn faulted_runs_conserve_packets(
+        scheme in any_scheme(),
+        use_rlb in any::<bool>(),
+        seed in 0u64..10_000,
+        n_failures in 1u32..5,
+    ) {
+        let mut sc = Scenario::fail_sweep(
+            &FailSweepConfig {
+                n_failures,
+                load: 0.4,
+                horizon: SimTime::from_us(400),
+                fail_at: SimTime::from_us(50),
+                fail_stagger: SimDuration::from_us(30),
+                fail_duration: SimDuration::from_us(150),
+                seed,
+                ..FailSweepConfig::default()
+            },
+            scheme,
+            use_rlb.then(RlbConfig::default),
+        );
+        sc.cfg.audit_every_events = 256;
+        let res = sc.run();
+        prop_assert_eq!(
+            res.counters.faults_applied,
+            u64::from(2 * n_failures),
+            "every outage and recovery must fire"
+        );
+        prop_assert_eq!(res.counters.buffer_drops, 0, "lossless under faults");
     }
 }

@@ -7,9 +7,9 @@
 //! dynamically on a scenario that exercises PFC, CNMs and recirculation.
 
 use rlb::core::RlbConfig;
-use rlb::engine::SimTime;
+use rlb::engine::{SimDuration, SimTime};
 use rlb::lb::Scheme;
-use rlb::net::scenario::{incast_scenario, motivation, IncastScenarioConfig, MotivationConfig};
+use rlb::net::scenario::{FailSweepConfig, IncastScenarioConfig, MotivationConfig, Scenario};
 use rlb::net::RunResult;
 
 /// ((is_spine, switch_idx), port) — the key of `RunResult::pfc_pauses_by_port`.
@@ -25,6 +25,7 @@ struct Digest {
     resume_frames: u64,
     cnm_generated: u64,
     recirculations: u64,
+    faults_applied: u64,
     events_processed: u64,
     end_ps: u64,
 }
@@ -45,6 +46,7 @@ fn digest(res: &RunResult) -> Digest {
         resume_frames: res.counters.resume_frames,
         cnm_generated: res.counters.cnm_generated,
         recirculations: res.counters.recirculations,
+        faults_applied: res.counters.faults_applied,
         events_processed: res.events_processed,
         end_ps: res.end_time.as_ps(),
     }
@@ -70,7 +72,7 @@ fn pfc_heavy_scenario(seed: u64) -> MotivationConfig {
 /// storms, CNM relaying, reroutes and recirculation all active).
 #[test]
 fn identical_seeds_produce_identical_runs() {
-    let mk = || motivation(&pfc_heavy_scenario(42), Scheme::Drill, Some(RlbConfig::default()));
+    let mk = || Scenario::motivation(&pfc_heavy_scenario(42), Scheme::Drill, Some(RlbConfig::default()));
     let a = digest(&mk().run());
     let b = digest(&mk().run());
     assert!(a.pause_frames > 0, "scenario must exercise PFC");
@@ -89,7 +91,7 @@ fn identical_seeds_produce_identical_runs() {
 /// all churn the state that the cache stamps guard.
 #[test]
 fn identical_seeds_identical_runs_rlb_letflow() {
-    let mk = || motivation(&pfc_heavy_scenario(7), Scheme::LetFlow, Some(RlbConfig::default()));
+    let mk = || Scenario::motivation(&pfc_heavy_scenario(7), Scheme::LetFlow, Some(RlbConfig::default()));
     let a = digest(&mk().run());
     let b = digest(&mk().run());
     assert!(a.pause_frames > 0, "scenario must exercise PFC");
@@ -104,7 +106,7 @@ fn identical_seeds_identical_runs_rlb_letflow() {
 /// events and must always agree.
 #[test]
 fn per_port_pauses_sum_to_aggregate_counter() {
-    let res = motivation(&pfc_heavy_scenario(5), Scheme::Drill, Some(RlbConfig::default())).run();
+    let res = Scenario::motivation(&pfc_heavy_scenario(5), Scheme::Drill, Some(RlbConfig::default())).run();
     let sum: u64 = res.pfc_pauses_by_port.values().sum();
     assert_eq!(sum, res.counters.pause_frames);
 }
@@ -115,7 +117,7 @@ fn per_port_pauses_sum_to_aggregate_counter() {
 fn different_seeds_diverge() {
     let run = |seed| {
         digest(
-            &incast_scenario(
+            &Scenario::incast(
                 &IncastScenarioConfig {
                     degree: 12,
                     requests: 2,
@@ -130,4 +132,28 @@ fn different_seeds_diverge() {
         )
     };
     assert_ne!(run(1), run(2), "seed must influence the workload");
+}
+
+/// Fault injection rides the same event wheel as everything else, so a
+/// faulted run — staggered link outages with recovery, mid-run — must
+/// reproduce bit-for-bit too, and the faults must verifiably fire.
+#[test]
+fn faulted_runs_reproduce_bit_for_bit() {
+    let mk = || {
+        let fc = FailSweepConfig {
+            n_failures: 3,
+            load: 0.4,
+            horizon: SimTime::from_us(400),
+            fail_at: SimTime::from_us(50),
+            fail_stagger: SimDuration::from_us(30),
+            fail_duration: SimDuration::from_us(150),
+            seed: 13,
+            ..FailSweepConfig::default()
+        };
+        Scenario::fail_sweep(&fc, Scheme::LetFlow, Some(RlbConfig::default()))
+    };
+    let a = digest(&mk().run());
+    let b = digest(&mk().run());
+    assert_eq!(a.faults_applied, 6, "3 downs + 3 recoveries must fire");
+    assert_eq!(a, b, "faulted run must reproduce bit-for-bit");
 }

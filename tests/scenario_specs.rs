@@ -1,0 +1,72 @@
+//! Every committed scenario spec under `specs/` must parse, round-trip
+//! through the canonical writer, and build into a runnable scenario.
+//!
+//! CI runs this test as the "spec files stay valid" gate: if a grammar
+//! change breaks an on-disk example, it fails here with the parser's
+//! caret-frame diagnostic in the assertion message.
+
+use rlb::net::ScenarioSpec;
+
+fn committed_specs() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("specs/ directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "toml") {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable spec file");
+            out.push((name, text));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_committed_spec_parses_and_builds() {
+    let specs = committed_specs();
+    assert!(
+        !specs.is_empty(),
+        "specs/ must hold at least one example spec"
+    );
+    for (name, text) in &specs {
+        let spec = ScenarioSpec::parse(text)
+            .unwrap_or_else(|e| panic!("specs/{name} failed to parse:\n{e}"));
+        let scenario = spec
+            .build()
+            .unwrap_or_else(|e| panic!("specs/{name} failed to build: {e}"));
+        assert!(
+            !scenario.flows.is_empty(),
+            "specs/{name} generated no flows"
+        );
+    }
+}
+
+#[test]
+fn every_committed_spec_round_trips() {
+    for (name, text) in committed_specs() {
+        let spec = ScenarioSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("specs/{name} failed to parse:\n{e}"));
+        let canonical = spec.to_spec_text();
+        let back = ScenarioSpec::parse(&canonical)
+            .unwrap_or_else(|e| panic!("specs/{name} canonical text failed to re-parse:\n{e}"));
+        assert_eq!(spec, back, "specs/{name} does not round-trip");
+        assert_eq!(
+            canonical,
+            back.to_spec_text(),
+            "specs/{name} canonical text is not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn faulted_specs_apply_their_timelines() {
+    // The worked example from EXPERIMENTS.md: two staggered outages with
+    // recovery — four fault events must actually fire.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs/link_outage.toml");
+    let text = std::fs::read_to_string(path).expect("specs/link_outage.toml exists");
+    let spec = ScenarioSpec::parse(&text).expect("link_outage parses");
+    let res = spec.build().expect("link_outage builds").run();
+    assert_eq!(res.counters.faults_applied, 4, "2 downs + 2 recoveries");
+    assert_eq!(res.counters.buffer_drops, 0, "lossless even under faults");
+}
