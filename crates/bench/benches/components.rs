@@ -375,6 +375,85 @@ fn bench_gbn(c: &mut Criterion) {
     });
 }
 
+/// Stand-in for the cold packet payload the switch queues used to carry
+/// inline: roughly `rlb_net::Packet`-sized, so the VecDeque baseline pays
+/// a realistic per-element copy cost.
+#[derive(Clone, Copy)]
+struct FatPacket {
+    size_bytes: u32,
+    flow: u32,
+    enqueued_at_ps: u64,
+    _cold: [u64; 6],
+}
+
+fn bench_packet_plane(c: &mut Criterion) {
+    use rlb_engine::{PacketArena, PacketHandle};
+    use std::collections::VecDeque;
+
+    const N: usize = 1_024;
+    let pkt = |i: u64| FatPacket {
+        size_bytes: 1_000 + (i % 512) as u32,
+        flow: i as u32,
+        enqueued_at_ps: i * 37,
+        _cold: [i; 6],
+    };
+
+    // FIFO churn through the arena (handles in the queue, payload parked)
+    // vs the pre-arena baseline (whole packets moving through VecDeque).
+    c.bench_function("net/packet_plane/arena_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut arena: PacketArena<FatPacket> = PacketArena::with_capacity(N);
+            let mut q: VecDeque<PacketHandle> = VecDeque::with_capacity(N);
+            let mut acc = 0u64;
+            for i in 0..N as u64 {
+                let p = pkt(i);
+                q.push_back(arena.alloc(p.size_bytes, p.flow, false, p.enqueued_at_ps, p));
+            }
+            while let Some(h) = q.pop_front() {
+                acc = acc.wrapping_add(arena.free(h).size_bytes as u64);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("net/packet_plane/vecdeque_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q: VecDeque<FatPacket> = VecDeque::with_capacity(N);
+            let mut acc = 0u64;
+            for i in 0..N as u64 {
+                q.push_back(pkt(i));
+            }
+            while let Some(p) = q.pop_front() {
+                acc = acc.wrapping_add(p.size_bytes as u64);
+            }
+            black_box(acc)
+        })
+    });
+
+    // The audit/egress byte sweep: SoA reads only the arena's size column;
+    // the AoS baseline drags the whole fat packet through the cache for
+    // one u32 of it.
+    let mut arena: PacketArena<FatPacket> = PacketArena::with_capacity(N);
+    let handles: Vec<PacketHandle> = (0..N as u64)
+        .map(|i| {
+            let p = pkt(i);
+            arena.alloc(p.size_bytes, p.flow, false, p.enqueued_at_ps, p)
+        })
+        .collect();
+    let packets: Vec<FatPacket> = (0..N as u64).map(pkt).collect();
+    c.bench_function("net/packet_plane/scan_bytes_soa_1k", |b| {
+        b.iter(|| {
+            let sum: u64 = handles.iter().map(|&h| arena.size_bytes(h) as u64).sum();
+            black_box(sum)
+        })
+    });
+    c.bench_function("net/packet_plane/scan_bytes_aos_1k", |b| {
+        b.iter(|| {
+            let sum: u64 = packets.iter().map(|p| p.size_bytes as u64).sum();
+            black_box(sum)
+        })
+    });
+}
+
 fn bench_percentile(c: &mut Criterion) {
     let samples: Vec<f64> = (0..10_000)
         .map(|i| ((i * 2654435761u64) % 100_000) as f64)
@@ -396,6 +475,7 @@ criterion_group! {
     config = config();
     targets = bench_event_queue, bench_queue_head_to_head, bench_predictor,
               bench_algorithm1, bench_lb_selection, bench_decision_hot_path,
-              bench_workload_sampling, bench_gbn, bench_percentile
+              bench_workload_sampling, bench_gbn, bench_packet_plane,
+              bench_percentile
 }
 criterion_main!(benches);

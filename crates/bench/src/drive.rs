@@ -209,6 +209,10 @@ fn perf_aggregate(summary: &RunSummary) -> Json {
     let mut reuses: u64 = 0;
     let mut refreshes: u64 = 0;
     let mut rebuilds: u64 = 0;
+    let mut dirty_q: u64 = 0;
+    let mut dirty_sig: u64 = 0;
+    let mut arena_high_water: u64 = 0;
+    let mut arena_capacity: u64 = 0;
     let take = |p: &Json, k: &str| p.get(k).and_then(Json::as_u64).unwrap_or(0);
     for o in &summary.outcomes {
         if let Some(p) = o.metrics.get("perf") {
@@ -218,6 +222,12 @@ fn perf_aggregate(summary: &RunSummary) -> Json {
             reuses += take(p, "snapshot_reuses");
             refreshes += take(p, "snapshot_refreshes");
             rebuilds += take(p, "snapshot_rebuilds");
+            dirty_q += take(p, "snapshot_dirty_queue_spines");
+            dirty_sig += take(p, "snapshot_dirty_sig_spines");
+            // Occupancy peaks don't sum across independent runs; report
+            // the worst job in the batch.
+            arena_high_water = arena_high_water.max(take(p, "arena_high_water"));
+            arena_capacity = arena_capacity.max(take(p, "arena_capacity"));
         }
     }
     let rate = if sim_wall_ms > 0.0 {
@@ -233,6 +243,10 @@ fn perf_aggregate(summary: &RunSummary) -> Json {
         ("snapshot_reuses_total", Json::U64(reuses)),
         ("snapshot_refreshes_total", Json::U64(refreshes)),
         ("snapshot_rebuilds_total", Json::U64(rebuilds)),
+        ("snapshot_dirty_queue_spines_total", Json::U64(dirty_q)),
+        ("snapshot_dirty_sig_spines_total", Json::U64(dirty_sig)),
+        ("arena_high_water_max", Json::U64(arena_high_water)),
+        ("arena_capacity_max", Json::U64(arena_capacity)),
         ("jobs_executed", Json::U64(summary.executed as u64)),
         ("jobs_cached", Json::U64(summary.cache_hits as u64)),
     ])

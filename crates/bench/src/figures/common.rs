@@ -71,6 +71,13 @@ pub struct RunRow {
     pub snapshot_reuses: u64,
     pub snapshot_refreshes: u64,
     pub snapshot_rebuilds: u64,
+    /// Dirty-spine split of the refresh work (queue-side / signal-side).
+    pub snapshot_dirty_queue_spines: u64,
+    pub snapshot_dirty_sig_spines: u64,
+    /// Packet-arena occupancy telemetry: peak live packets and slots ever
+    /// allocated (backing-store footprint).
+    pub arena_high_water: u64,
+    pub arena_capacity: u64,
 }
 
 pub fn reduce(label: String, res: RunResult) -> RunRow {
@@ -108,6 +115,10 @@ pub fn reduce(label: String, res: RunResult) -> RunRow {
         snapshot_reuses: res.perf.snapshot_reuses,
         snapshot_refreshes: res.perf.snapshot_refreshes,
         snapshot_rebuilds: res.perf.snapshot_rebuilds,
+        snapshot_dirty_queue_spines: res.perf.snapshot_dirty_queue_spines,
+        snapshot_dirty_sig_spines: res.perf.snapshot_dirty_sig_spines,
+        arena_high_water: res.perf.arena_high_water,
+        arena_capacity: res.perf.arena_capacity,
     }
 }
 
@@ -220,6 +231,16 @@ pub fn run_metrics(label: String, sc: Scenario, extras: Vec<(&'static str, Json)
             ("snapshot_reuses", Json::U64(row.snapshot_reuses)),
             ("snapshot_refreshes", Json::U64(row.snapshot_refreshes)),
             ("snapshot_rebuilds", Json::U64(row.snapshot_rebuilds)),
+            (
+                "snapshot_dirty_queue_spines",
+                Json::U64(row.snapshot_dirty_queue_spines),
+            ),
+            (
+                "snapshot_dirty_sig_spines",
+                Json::U64(row.snapshot_dirty_sig_spines),
+            ),
+            ("arena_high_water", Json::U64(row.arena_high_water)),
+            ("arena_capacity", Json::U64(row.arena_capacity)),
         ]),
     );
     m

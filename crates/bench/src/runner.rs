@@ -41,7 +41,10 @@ use std::time::Instant;
 /// gained the decision / snapshot-cache counters (decisions,
 /// snapshot_reuses, snapshot_refreshes, snapshot_rebuilds). v4: the
 /// counters block gained faults_applied (fault-injection timelines).
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+/// v5: the perf block gained the dirty-spine refresh split
+/// (snapshot_dirty_queue_spines, snapshot_dirty_sig_spines) and the
+/// packet-arena occupancy stats (arena_high_water, arena_capacity).
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// FNV-1a 64-bit — small, dependency-free, stable across platforms.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {

@@ -1,0 +1,369 @@
+//! `PacketArena` — a generational slab for the packet hot plane.
+//!
+//! Every queue in the simulator (switch egress FIFOs, host control queues)
+//! used to move full 64-byte packet structs between `VecDeque`s. The arena
+//! inverts that: queues hold 4-byte [`PacketHandle`]s and the packets
+//! themselves sit still in a dense slab, alongside **SoA hot columns** for
+//! the handful of fields the per-event loops actually touch — wire size,
+//! flow id, control-class flag and enqueue timestamp. Occupancy sweeps and
+//! egress byte accounting read those columns without ever loading the cold
+//! payload, and a queue entry is one quarter of a cache line instead of
+//! two lines.
+//!
+//! Same idiom as [`crate::FlowTable`]: dense `Vec` storage, an explicit
+//! LIFO free list, and fully deterministic behavior — slot assignment is a
+//! pure function of the alloc/free history, never of pointer values.
+//!
+//! **Generational safety.** A handle packs a slot index with a generation
+//! stamp; freeing a slot bumps its generation, so any handle retained past
+//! the packet's lifetime stops matching. Every accessor checks the stamp
+//! and panics on a stale handle — a use-after-free of a packet slot means
+//! queue bookkeeping has diverged and every downstream metric is suspect,
+//! so dying loudly beats silently reading a recycled packet. (The stamp is
+//! [`GEN_BITS`] wide; a stale handle could only false-match after exactly
+//! `2^GEN_BITS` reuses of its slot, which the audit-feature sweeps would
+//! catch long before.)
+//!
+//! The arena is generic over the cold payload type: the engine stays
+//! ignorant of what a packet *is* (see the crate docs) while still owning
+//! the memory discipline. `rlb-net` instantiates it with its `Packet`.
+
+/// Bits of a handle devoted to the slot index. 2^20 simultaneously-live
+/// packets is far beyond any reachable queue population (the shared-buffer
+/// admission caps per-switch occupancy in the low thousands).
+pub const INDEX_BITS: u32 = 20;
+/// Bits devoted to the generation stamp.
+pub const GEN_BITS: u32 = 32 - INDEX_BITS;
+
+const INDEX_MASK: u32 = (1 << INDEX_BITS) - 1;
+const GEN_MASK: u32 = (1 << GEN_BITS) - 1;
+
+/// A 4-byte ticket for one live packet: slot index in the low
+/// [`INDEX_BITS`], generation stamp in the high [`GEN_BITS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketHandle(u32);
+
+impl PacketHandle {
+    #[inline]
+    fn new(index: u32, gen: u32) -> PacketHandle {
+        debug_assert!(index <= INDEX_MASK);
+        PacketHandle(index | (gen << INDEX_BITS))
+    }
+
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 & INDEX_MASK) as usize
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        self.0 >> INDEX_BITS
+    }
+}
+
+/// Generational slab owning every queued packet, with SoA hot columns.
+#[derive(Debug, Clone)]
+pub struct PacketArena<T> {
+    /// Cold payloads, AoS. `None` exactly for slots on the free list.
+    slots: Vec<Option<T>>,
+    /// Generation stamp per slot (low [`GEN_BITS`] bits used).
+    gens: Vec<u32>,
+    /// Free slots, reused LIFO (most-recently-freed first — deterministic
+    /// and cache-warm).
+    free: Vec<u32>,
+    // --- hot columns (SoA), valid only for live slots ---
+    /// Wire size in bytes.
+    sizes: Vec<u32>,
+    /// Flow id.
+    flows: Vec<u32>,
+    /// Control-class flag (strict-priority, PFC-immune).
+    ctrl: Vec<bool>,
+    /// Simulation time the packet entered its current queue, ps.
+    enqueued_at: Vec<u64>,
+    /// Live packets.
+    len: usize,
+    /// Peak simultaneous occupancy over the arena's lifetime.
+    high_water: usize,
+}
+
+impl<T> Default for PacketArena<T> {
+    fn default() -> Self {
+        PacketArena::new()
+    }
+}
+
+impl<T> PacketArena<T> {
+    pub fn new() -> PacketArena<T> {
+        PacketArena {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            sizes: Vec::new(),
+            flows: Vec::new(),
+            ctrl: Vec::new(),
+            enqueued_at: Vec::new(),
+            len: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Pre-size every column for an expected live population (optional —
+    /// the slab grows lazily either way).
+    pub fn with_capacity(n: usize) -> PacketArena<T> {
+        let mut a = PacketArena::new();
+        let n = n.min(INDEX_MASK as usize + 1);
+        a.slots.reserve(n);
+        a.gens.reserve(n);
+        a.sizes.reserve(n);
+        a.flows.reserve(n);
+        a.ctrl.reserve(n);
+        a.enqueued_at.reserve(n);
+        a
+    }
+
+    /// Live packets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slots ever allocated (live + free-listed).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Peak simultaneous occupancy over the arena's lifetime.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Park a packet in the arena. The hot-column values are snapshot at
+    /// allocation — queued packets are immutable, so the columns and the
+    /// cold payload can never disagree.
+    #[inline]
+    pub fn alloc(
+        &mut self,
+        size_bytes: u32,
+        flow: u32,
+        control: bool,
+        enqueued_at_ps: u64,
+        value: T,
+    ) -> PacketHandle {
+        let index = match self.free.pop() {
+            Some(i) => {
+                let i_us = i as usize;
+                debug_assert!(self.slots[i_us].is_none(), "free-listed slot is live");
+                self.slots[i_us] = Some(value);
+                self.sizes[i_us] = size_bytes;
+                self.flows[i_us] = flow;
+                self.ctrl[i_us] = control;
+                self.enqueued_at[i_us] = enqueued_at_ps;
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                assert!(
+                    i <= INDEX_MASK,
+                    "PacketArena overflow: more than 2^{INDEX_BITS} live packets"
+                );
+                self.slots.push(Some(value));
+                self.gens.push(0);
+                self.sizes.push(size_bytes);
+                self.flows.push(flow);
+                self.ctrl.push(control);
+                self.enqueued_at.push(enqueued_at_ps);
+                i
+            }
+        };
+        self.len += 1;
+        self.high_water = self.high_water.max(self.len);
+        PacketHandle::new(index, self.gens[index as usize])
+    }
+
+    /// Generation check shared by every accessor. Panics on stale handles:
+    /// the caller is holding a ticket for a packet that already left.
+    #[inline]
+    fn check(&self, h: PacketHandle) -> usize {
+        let i = h.index();
+        assert!(
+            i < self.gens.len() && self.gens[i] == h.gen(),
+            "stale packet handle: slot {i} is at generation {}, handle \
+             carries {} (use after free)",
+            self.gens.get(i).copied().unwrap_or(u32::MAX),
+            h.gen(),
+        );
+        i
+    }
+
+    /// Take the packet out, retiring its slot. The handle (and any copy of
+    /// it) is dead from here on.
+    #[inline]
+    pub fn free(&mut self, h: PacketHandle) -> T {
+        let i = self.check(h);
+        let v = self.slots[i].take().expect("generation-checked slot is live");
+        self.gens[i] = self.gens[i].wrapping_add(1) & GEN_MASK;
+        self.free.push(i as u32);
+        self.len -= 1;
+        v
+    }
+
+    /// Cold payload access.
+    #[inline]
+    pub fn get(&self, h: PacketHandle) -> &T {
+        let i = self.check(h);
+        self.slots[i].as_ref().expect("generation-checked slot is live")
+    }
+
+    // --- hot-column reads (no cold-payload touch) ---
+
+    /// Wire size in bytes.
+    #[inline]
+    pub fn size_bytes(&self, h: PacketHandle) -> u32 {
+        self.sizes[self.check(h)]
+    }
+
+    /// Flow id.
+    #[inline]
+    pub fn flow(&self, h: PacketHandle) -> u32 {
+        self.flows[self.check(h)]
+    }
+
+    /// Control-class flag.
+    #[inline]
+    pub fn is_control(&self, h: PacketHandle) -> bool {
+        self.ctrl[self.check(h)]
+    }
+
+    /// When the packet entered its current queue, ps.
+    #[inline]
+    pub fn enqueued_at_ps(&self, h: PacketHandle) -> u64 {
+        self.enqueued_at[self.check(h)]
+    }
+
+    /// Whether `h` still points at the packet it was issued for.
+    #[inline]
+    pub fn contains(&self, h: PacketHandle) -> bool {
+        let i = h.index();
+        i < self.gens.len() && self.gens[i] == h.gen() && self.slots[i].is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_free_roundtrip() {
+        let mut a: PacketArena<u64> = PacketArena::new();
+        assert!(a.is_empty());
+        let h = a.alloc(1_048, 7, false, 5_000, 0xDEAD);
+        assert_eq!(a.len(), 1);
+        assert_eq!(*a.get(h), 0xDEAD);
+        assert_eq!(a.size_bytes(h), 1_048);
+        assert_eq!(a.flow(h), 7);
+        assert!(!a.is_control(h));
+        assert_eq!(a.enqueued_at_ps(h), 5_000);
+        assert!(a.contains(h));
+        assert_eq!(a.free(h), 0xDEAD);
+        assert!(a.is_empty());
+        assert!(!a.contains(h));
+    }
+
+    #[test]
+    fn slots_are_reused_lifo_with_fresh_generations() {
+        let mut a: PacketArena<u32> = PacketArena::new();
+        let h0 = a.alloc(1, 0, false, 0, 10);
+        let h1 = a.alloc(2, 0, false, 0, 11);
+        assert_eq!(a.capacity(), 2);
+        a.free(h1);
+        a.free(h0);
+        // LIFO: slot 0 (freed last) comes back first.
+        let h0b = a.alloc(3, 0, true, 9, 12);
+        assert_eq!(h0b.index(), 0);
+        assert_ne!(h0b, h0, "recycled slot must issue a new generation");
+        assert_eq!(a.capacity(), 2, "no growth while the free list serves");
+        let h1b = a.alloc(4, 0, false, 9, 13);
+        assert_eq!(h1b.index(), 1);
+        assert_eq!(*a.get(h0b), 12);
+        assert_eq!(*a.get(h1b), 13);
+        assert!(a.is_control(h0b));
+    }
+
+    #[test]
+    fn handles_stay_stable_under_churn() {
+        // Long-lived handles must survive arbitrary alloc/free churn of
+        // *other* slots: the slab never moves a live entry.
+        let mut a: PacketArena<u64> = PacketArena::new();
+        let keep: Vec<PacketHandle> =
+            (0..16).map(|i| a.alloc(i, i as u32, false, 0, 1_000 + i as u64)).collect();
+        let mut churn: Vec<PacketHandle> = Vec::new();
+        for round in 0..1_000u64 {
+            if round % 3 == 2 {
+                if let Some(h) = churn.pop() {
+                    a.free(h);
+                }
+            } else {
+                churn.push(a.alloc(64, round as u32, round % 2 == 0, round, round));
+            }
+        }
+        for (i, h) in keep.iter().enumerate() {
+            assert_eq!(*a.get(*h), 1_000 + i as u64, "handle {i} went stale");
+            assert_eq!(a.size_bytes(*h), i as u32);
+        }
+        let expect_live = 16 + churn.len();
+        assert_eq!(a.len(), expect_live);
+        assert!(a.high_water() >= expect_live);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let mut a: PacketArena<u8> = PacketArena::new();
+        let hs: Vec<_> = (0..10).map(|i| a.alloc(1, i, false, 0, 0)).collect();
+        for h in hs {
+            a.free(h);
+        }
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.high_water(), 10);
+        assert_eq!(a.capacity(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn stale_handle_use_panics() {
+        let mut a: PacketArena<u8> = PacketArena::new();
+        let h = a.alloc(100, 1, false, 0, 42);
+        a.free(h);
+        // Reoccupy the slot so this is a true use-after-free, not an
+        // empty-slot access.
+        let _h2 = a.alloc(200, 2, false, 0, 43);
+        let _ = a.size_bytes(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet handle")]
+    fn double_free_panics() {
+        let mut a: PacketArena<u8> = PacketArena::new();
+        let h = a.alloc(100, 1, false, 0, 42);
+        a.free(h);
+        a.free(h);
+    }
+
+    #[test]
+    fn handle_packing_roundtrips_at_the_edges() {
+        // Index occupies the low bits, generation the high bits; neither
+        // corrupts the other at their extremes.
+        let h = PacketHandle::new(INDEX_MASK, GEN_MASK);
+        assert_eq!(h.index(), INDEX_MASK as usize);
+        assert_eq!(h.gen(), GEN_MASK);
+        let h0 = PacketHandle::new(0, 1);
+        assert_eq!(h0.index(), 0);
+        assert_eq!(h0.gen(), 1);
+    }
+}

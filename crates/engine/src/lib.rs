@@ -11,6 +11,10 @@
 //! * [`FlowTable`] — dense O(1) per-flow state storage with
 //!   `BTreeMap`-compatible deterministic iteration, for the per-packet
 //!   decision hot path in the load balancers.
+//! * [`PacketArena`] — a generational slab owning every queued packet, with
+//!   SoA hot columns (size, flow, class, enqueue time) so occupancy sweeps
+//!   and byte accounting never touch the cold payload; queues move 4-byte
+//!   [`PacketHandle`]s instead of full packets.
 //! * [`rng`] — seed-derived independent random substreams.
 //!
 //! The engine is deliberately ignorant of packets and switches; the network
@@ -20,12 +24,14 @@
 // (tests are exempt). Enforced alongside `cargo xtask lint`'s lib-unwrap rule.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod arena;
 pub mod queue;
 pub mod rng;
 pub mod table;
 pub mod time;
 mod wheel;
 
+pub use arena::{PacketArena, PacketHandle};
 pub use queue::{EventQueue, HeapEventQueue};
 pub use rng::{substream, SimRng};
 pub use table::FlowTable;
@@ -190,6 +196,56 @@ mod proptests {
             let got: Vec<(u64, u64)> = table.iter().map(|(k, v)| (k, *v)).collect();
             let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
             prop_assert_eq!(got, want);
+        }
+
+        /// Differential: a FIFO queue of `PacketArena` handles, driven
+        /// through random push/pop/churn interleavings, is observably
+        /// identical to a `VecDeque` of inline values — same pop order,
+        /// same payloads, same hot-column reads, same occupancy. This is
+        /// the exact shape the switch egress queues use the arena in.
+        #[test]
+        fn arena_queue_matches_vecdeque_reference(
+            ops in proptest::collection::vec((0u8..3, 1u32..10_000, 0u64..1_000_000), 1..300)
+        ) {
+            use std::collections::VecDeque;
+            let mut arena: PacketArena<(u32, u64)> = PacketArena::new();
+            let mut q: VecDeque<PacketHandle> = VecDeque::new();
+            let mut model: VecDeque<(u32, u64)> = VecDeque::new();
+            let mut seq = 0u32;
+            for (kind, size, t) in ops {
+                match kind {
+                    // Push: arena-alloc + handle enqueue vs inline enqueue.
+                    0 | 1 => {
+                        let h = arena.alloc(size, seq, false, t, (size, t));
+                        q.push_back(h);
+                        model.push_back((size, t));
+                        seq += 1;
+                    }
+                    // Pop: hot columns must match the inline value, then
+                    // the freed payload must too.
+                    _ => {
+                        let (got, want) = (q.pop_front(), model.pop_front());
+                        prop_assert_eq!(got.is_some(), want.is_some());
+                        if let (Some(h), Some(w)) = (got, want) {
+                            prop_assert_eq!(arena.size_bytes(h), w.0);
+                            prop_assert_eq!(arena.enqueued_at_ps(h), w.1);
+                            prop_assert_eq!(arena.free(h), w);
+                        }
+                    }
+                }
+                prop_assert_eq!(arena.len(), model.len());
+                // Byte accounting straight off the hot column.
+                let arena_bytes: u64 = q.iter().map(|&h| arena.size_bytes(h) as u64).sum();
+                let model_bytes: u64 = model.iter().map(|v| v.0 as u64).sum();
+                prop_assert_eq!(arena_bytes, model_bytes);
+            }
+            // Drain the tail: full remaining order must match.
+            while let Some(h) = q.pop_front() {
+                let w = model.pop_front();
+                prop_assert_eq!(Some(arena.free(h)), w);
+            }
+            prop_assert!(model.is_empty());
+            prop_assert!(arena.is_empty());
         }
 
         /// tx_delay is monotone in bytes and additive across packet splits.

@@ -30,7 +30,9 @@
 //! once at drain; the walk is O(state), so the default interval keeps the
 //! overhead negligible.
 
+use crate::packet::Packet;
 use crate::switch::Switch;
+use rlb_engine::PacketArena;
 use std::collections::BTreeMap;
 
 /// Stable identity of a switch for audit bookkeeping: `(is_spine, index)`.
@@ -140,13 +142,16 @@ impl FabricAuditor {
     }
 
     /// Full invariant sweep. `switches` yields every switch with its id;
-    /// `in_flight_events` / `recirculating` are the packet counts the
-    /// caller tallied from the pending event set; `drain` additionally
-    /// requires each PFC ledger to match the live pause flags.
+    /// `arena` is the packet arena the queued handles point into (any stale
+    /// handle panics right here, inside the sweep); `in_flight_events` /
+    /// `recirculating` are the packet counts the caller tallied from the
+    /// pending event set; `drain` additionally requires each PFC ledger to
+    /// match the live pause flags.
     pub fn check<'a>(
         &mut self,
         at_ps: u64,
         switches: impl Iterator<Item = (SwitchId, &'a Switch)>,
+        arena: &PacketArena<Packet>,
         in_flight_events: u64,
         recirculating: u64,
         drain: bool,
@@ -163,7 +168,7 @@ impl FabricAuditor {
         };
         for ((is_spine, idx), sw) in switches {
             let id: SwitchId = (is_spine, idx);
-            self.check_buffers(id, sw, at_ps);
+            self.check_buffers(id, sw, arena, at_ps);
             if drain {
                 self.check_pfc_drained(id, sw, at_ps);
             }
@@ -177,7 +182,7 @@ impl FabricAuditor {
         );
     }
 
-    fn check_buffers(&self, id: SwitchId, sw: &Switch, at_ps: u64) {
+    fn check_buffers(&self, id: SwitchId, sw: &Switch, arena: &PacketArena<Packet>, at_ps: u64) {
         let cap = sw.config().buffer_bytes;
         assert!(
             sw.shared_used <= cap,
@@ -193,7 +198,9 @@ impl FabricAuditor {
             sw.shared_used
         );
         for (p, ep) in sw.egress.iter().enumerate() {
-            let q_sum: u64 = ep.data_q.iter().map(|pkt| pkt.size_bytes as u64).sum();
+            // SoA sweep: the byte sum reads only the arena's size column —
+            // and validates every handle's generation along the way.
+            let q_sum: u64 = ep.data_q.iter().map(|&h| arena.size_bytes(h) as u64).sum();
             assert!(
                 q_sum == ep.data_q_bytes,
                 "audit violation [buffer-occupancy]: switch {id:?} egress \
@@ -253,7 +260,7 @@ mod tests {
         a.on_dropped();
         let sw = test_switch();
         // 5 = 3 arrived + 1 dropped + 1 in-flight.
-        a.check(1_000, [((false, 0), &sw)].into_iter(), 1, 0, true);
+        a.check(1_000, [((false, 0), &sw)].into_iter(), &PacketArena::new(), 1, 0, true);
         assert_eq!(a.checks_run, 1);
     }
 
@@ -267,7 +274,7 @@ mod tests {
         let sw = test_switch();
         // Second packet is nowhere: not arrived, dropped, buffered or in
         // flight — the sweep must refuse to balance the books.
-        a.check(2_000, [((false, 0), &sw)].into_iter(), 0, 0, false);
+        a.check(2_000, [((false, 0), &sw)].into_iter(), &PacketArena::new(), 0, 0, false);
     }
 
     #[test]
@@ -292,7 +299,7 @@ mod tests {
         // PAUSE sent but the switch's live flag says unpaused: inconsistent.
         a.on_pause_sent((false, 0), 1);
         let sw = test_switch();
-        a.check(3_000, [((false, 0), &sw)].into_iter(), 0, 0, true);
+        a.check(3_000, [((false, 0), &sw)].into_iter(), &PacketArena::new(), 0, 0, true);
     }
 
     #[test]
@@ -301,7 +308,7 @@ mod tests {
         let mut a = FabricAuditor::default();
         let mut sw = test_switch();
         sw.shared_used = sw.config().buffer_bytes + 1;
-        a.check(4_000, [((false, 0), &sw)].into_iter(), 0, 0, false);
+        a.check(4_000, [((false, 0), &sw)].into_iter(), &PacketArena::new(), 0, 0, false);
     }
 
     #[test]
@@ -310,7 +317,7 @@ mod tests {
         let mut a = FabricAuditor::default();
         let mut sw = test_switch();
         sw.ingress_bytes[0] = 512; // shared_used still 0
-        a.check(5_000, [((false, 0), &sw)].into_iter(), 0, 0, false);
+        a.check(5_000, [((false, 0), &sw)].into_iter(), &PacketArena::new(), 0, 0, false);
     }
 
     #[test]
@@ -319,9 +326,9 @@ mod tests {
         a.on_pause_sent((false, 0), 1);
         let mut sw = test_switch();
         sw.paused_upstream[1] = true;
-        a.check(6_000, [((false, 0), &sw)].into_iter(), 0, 0, true);
+        a.check(6_000, [((false, 0), &sw)].into_iter(), &PacketArena::new(), 0, 0, true);
         a.on_resume_sent((false, 0), 1);
         sw.paused_upstream[1] = false;
-        a.check(7_000, [((false, 0), &sw)].into_iter(), 0, 0, true);
+        a.check(7_000, [((false, 0), &sw)].into_iter(), &PacketArena::new(), 0, 0, true);
     }
 }

@@ -17,7 +17,7 @@ use crate::switch::{LbInstance, LeafState, PfcAction, Switch};
 use crate::topology::{Node, Topology};
 use crate::trace::{FlowTraces, TraceEvent};
 use rlb_core::{conservative_qth, Decision, PfcPredictor, Prediction, Rlb};
-use rlb_engine::{substream, tx_delay, EventQueue, SimDuration, SimTime};
+use rlb_engine::{substream, tx_delay, EventQueue, PacketArena, PacketHandle, SimDuration, SimTime};
 use rlb_lb::{Ctx, PathInfo};
 use rlb_metrics::{FabricCounters, FctSummary, FlowRecord, LogHistogram};
 use rlb_workloads::FlowSpec;
@@ -81,11 +81,22 @@ pub struct PerfStats {
     pub decisions: u64,
     /// Decisions served from a byte-identical cached path snapshot.
     pub snapshot_reuses: u64,
-    /// Decisions where only the switch-local fields (queue depth, pause
-    /// bit) were refreshed in place; warnings/RTT/ECN were reused.
+    /// Decisions where only the dirty spines were rewritten in place;
+    /// everything else in the snapshot was reused.
     pub snapshot_refreshes: u64,
-    /// Decisions that rebuilt the path snapshot from scratch.
+    /// Decisions that rebuilt the path snapshot from scratch (first touch
+    /// of a (leaf, dst_leaf) pair, or a fault-epoch change).
     pub snapshot_rebuilds: u64,
+    /// Spines whose egress-queue generation was stale across all refresh
+    /// decisions (the queue-side dirty-bit split of the refresh work).
+    pub snapshot_dirty_queue_spines: u64,
+    /// Spines whose warning/RTT/ECN signal generations were stale across
+    /// all refresh decisions (the signal-side dirty-bit split).
+    pub snapshot_dirty_sig_spines: u64,
+    /// Peak number of packets simultaneously parked in the packet arena.
+    pub arena_high_water: u64,
+    /// Arena slots ever allocated (its backing-store footprint).
+    pub arena_capacity: u64,
 }
 
 /// Outcome of one run.
@@ -166,24 +177,36 @@ pub struct Simulation {
     leaves: Vec<Switch>,
     spines: Vec<Switch>,
     hosts: Vec<Host>,
+    /// Every packet parked in a queue anywhere in the fabric (switch egress
+    /// classes, host NIC control queues) lives in this generational arena;
+    /// the queues themselves hold 4-byte [`PacketHandle`]s.
+    arena: PacketArena<Packet>,
     /// Control frames queued at each host NIC (ACK/NAK/CNP), strict
     /// priority over data and immune to PFC pausing.
-    host_ctrl: Vec<std::collections::VecDeque<Packet>>,
+    host_ctrl: Vec<std::collections::VecDeque<PacketHandle>>,
     flows: Vec<FlowState>,
     counters: FabricCounters,
     ood_histogram: LogHistogram,
     completed: usize,
-    /// Scratch buffer for per-decision path snapshots (no per-packet alloc).
-    /// Doubles as a cache: `snap_stamp` records what it currently holds.
-    path_scratch: Vec<PathInfo>,
-    /// Validity stamp for the `path_scratch` snapshot (see `assemble_paths`).
-    snap_stamp: SnapStamp,
+    /// Per-(leaf, dst_leaf) cached path snapshots with per-spine generation
+    /// stamps (see `assemble_paths`), indexed `leaf * n_leaves + dst_leaf`.
+    path_snaps: Vec<PathSnap>,
+    /// Bumped by every fault application; snapshots built under an older
+    /// epoch rebuild from scratch (faults may change link state/rate).
+    fault_epoch: u64,
     /// LB decisions taken at source leaves (perf telemetry).
     perf_decisions: u64,
     /// Snapshot-cache outcome counters (perf telemetry).
     snap_reuses: u64,
     snap_refreshes: u64,
     snap_rebuilds: u64,
+    /// Dirty-spine counts accumulated over all refresh decisions
+    /// (queue-generation side / signal-generation side).
+    snap_dirty_q_spines: u64,
+    snap_dirty_sig_spines: u64,
+    /// Typed accumulator for PFC pause dwell time, folded into
+    /// `counters.paused_port_time_ps` once at end of run.
+    paused_port_time: SimDuration,
     /// Scratch: ingress ports that warned during one predictor tick.
     warn_scratch: Vec<u16>,
     /// Scratch: hosts to kick after a rate-increase tick (dedup per host).
@@ -209,30 +232,45 @@ pub struct Simulation {
     audit_horizon_in_flight: (u64, u64),
 }
 
-/// What the `path_scratch` snapshot currently describes, and until when it
-/// can be trusted. A snapshot for (leaf, dst_leaf) stays byte-identical
-/// while the leaf switch's egress generation (`Switch::snap_gen`) and the
-/// leaf's signal generation (`LeafState::sig_gen`) both hold still and no
-/// active warning crosses its expiry boundary (`valid_until_ps` — warnings
-/// decay by pure passage of time, bumping no counter).
-#[derive(Debug, Clone, Copy)]
-struct SnapStamp {
-    leaf: u32,
-    dst_leaf: u32,
-    queue_gen: u64,
-    sig_gen: u64,
+/// One (leaf, dst_leaf) cached path snapshot plus the per-spine generation
+/// stamps it was built from. A stored `PathInfo` entry stays byte-identical
+/// while its spine's egress-queue generation (`EgressPort::q_gen`) and
+/// signal generations (`LeafState::{path_sig_gen, uplink_sig_gen}`) hold
+/// still, the fault epoch is unchanged, and no armed warning crosses its
+/// expiry boundary (`valid_until_ps` — warnings decay by pure passage of
+/// time, bumping no counter). Stale spines are rewritten individually, so a
+/// single busy uplink no longer invalidates its seven idle siblings.
+#[derive(Debug)]
+struct PathSnap {
+    paths: Vec<PathInfo>,
+    /// Per-spine `EgressPort::q_gen` at last (re)build of that entry.
+    q_gens: Vec<u64>,
+    /// Per-spine `LeafState::path_sig_gen(spine, dst_leaf)` stamp.
+    sig_gens: Vec<u64>,
+    /// Per-spine `LeafState::uplink_sig_gen(spine)` stamp.
+    uplink_gens: Vec<u64>,
+    /// Per-spine warning deadline observed at the last signal probe
+    /// (0 = no warning recorded then; may sit in the past once expired).
+    warned_until_ps: Vec<u64>,
+    /// Earliest instant at which any armed warning in `paths` lapses.
     valid_until_ps: u64,
+    /// `Simulation::fault_epoch` the snapshot was built under.
+    fault_epoch: u64,
+    /// The snapshot has been built at least once.
+    init: bool,
 }
 
-impl SnapStamp {
-    /// A stamp matching no real leaf: the first decision always rebuilds.
-    fn invalid() -> SnapStamp {
-        SnapStamp {
-            leaf: u32::MAX,
-            dst_leaf: u32::MAX,
-            queue_gen: 0,
-            sig_gen: 0,
+impl PathSnap {
+    fn empty(n_spines: usize) -> PathSnap {
+        PathSnap {
+            paths: Vec::with_capacity(n_spines),
+            q_gens: vec![0; n_spines],
+            sig_gens: vec![0; n_spines],
+            uplink_gens: vec![0; n_spines],
+            warned_until_ps: vec![0; n_spines],
             valid_until_ps: 0,
+            fault_epoch: 0,
+            init: false,
         }
     }
 }
@@ -266,13 +304,13 @@ impl Simulation {
         // Base RTT estimate seeding the per-path estimators: 8 link hops
         // (4 out, 4 back) of propagation + serialization.
         let mtu_wire = cfg.mtu_wire_bytes() as u64;
-        let base_rtt_ns =
-            (2 * cfg.topo.base_one_way_ps(mtu_wire)) as f64 / 1e3;
+        let base_one_way = SimDuration::from_ps(cfg.topo.base_one_way_ps(mtu_wire));
+        let base_rtt_ns = base_one_way.mul_u64(2).as_ns_f64();
 
         let contributor_window = cfg
             .rlb
             .as_ref()
-            .map(|r| 4 * r.warn_lifetime_ps)
+            .map(|r| SimDuration::from_ps(r.warn_lifetime_ps).mul_u64(4).as_ps())
             .unwrap_or(10_000_000);
 
         let mut leaves = Vec::with_capacity(n_leaves as usize);
@@ -341,7 +379,7 @@ impl Simulation {
 
         // IRN window: one bandwidth-delay product of full-size packets
         // (IRN's "BDP-FC"), with a small floor.
-        let irn_window = ((2.0 * cfg.topo.base_one_way_ps(mtu_wire) as f64 / 1e12)
+        let irn_window = (base_one_way.mul_u64(2).as_secs_f64()
             * cfg.topo.host_link_rate_bps as f64
             / (8.0 * mtu_wire as f64))
             .ceil()
@@ -381,17 +419,23 @@ impl Simulation {
             leaves,
             spines,
             hosts,
+            arena: PacketArena::with_capacity(1024),
             host_ctrl,
             flows,
             counters: FabricCounters::default(),
             ood_histogram: LogHistogram::new(),
             completed: 0,
-            path_scratch: Vec::with_capacity(n_spines as usize),
-            snap_stamp: SnapStamp::invalid(),
+            path_snaps: (0..(n_leaves as usize * n_leaves as usize))
+                .map(|_| PathSnap::empty(n_spines as usize))
+                .collect(),
+            fault_epoch: 0,
             perf_decisions: 0,
             snap_reuses: 0,
             snap_refreshes: 0,
             snap_rebuilds: 0,
+            snap_dirty_q_spines: 0,
+            snap_dirty_sig_spines: 0,
+            paused_port_time: SimDuration(0),
             warn_scratch: Vec::new(),
             host_kick_scratch: vec![false; n_hosts as usize],
             alpha_tick_armed: false,
@@ -441,6 +485,18 @@ impl Simulation {
         }
     }
 
+    /// Split-borrow a switch together with the packet arena (disjoint
+    /// fields), for enqueue/dequeue paths that park or reclaim packets.
+    #[inline]
+    fn switch_and_arena(&mut self, node: Node) -> (&mut Switch, &mut PacketArena<Packet>) {
+        let sw = match node {
+            Node::Leaf(l) => &mut self.leaves[l as usize],
+            Node::Spine(s) => &mut self.spines[s as usize],
+            Node::Host(_) => panic!("not a switch"),
+        };
+        (sw, &mut self.arena)
+    }
+
     /// Run to completion: stops when all flows finished, the event queue
     /// drains, or the hard-stop horizon passes.
     pub fn run(mut self) -> RunResult {
@@ -478,6 +534,7 @@ impl Simulation {
         #[cfg(feature = "audit")]
         self.audit_sweep(true);
         let wall = wall_start.elapsed();
+        self.counters.paused_port_time_ps = self.paused_port_time.as_ps();
         let perf = PerfStats {
             wall_ms: wall.as_secs_f64() * 1e3,
             events_per_sec: if wall.as_secs_f64() > 0.0 {
@@ -489,6 +546,10 @@ impl Simulation {
             snapshot_reuses: self.snap_reuses,
             snapshot_refreshes: self.snap_refreshes,
             snapshot_rebuilds: self.snap_rebuilds,
+            snapshot_dirty_queue_spines: self.snap_dirty_q_spines,
+            snapshot_dirty_sig_spines: self.snap_dirty_sig_spines,
+            arena_high_water: self.arena.high_water() as u64,
+            arena_capacity: self.arena.capacity() as u64,
         };
         let end_time = self.now();
         let groups: Vec<u64> = self.flows.iter().map(|f| f.spec.group).collect();
@@ -563,6 +624,25 @@ impl Simulation {
             in_flight += f;
             recirc += r;
         }
+        // Handle conservation: every live arena slot is referenced by
+        // exactly one queue somewhere in the fabric, and vice versa. A
+        // mismatch means a handle leaked (slot never freed) or a queue
+        // holds a dangling handle.
+        let queued: usize = self
+            .leaves
+            .iter()
+            .chain(self.spines.iter())
+            .flat_map(|sw| sw.egress.iter())
+            .map(|ep| ep.data_q.len() + ep.ctrl_q.len())
+            .sum::<usize>()
+            + self.host_ctrl.iter().map(|q| q.len()).sum::<usize>();
+        assert_eq!(
+            queued,
+            self.arena.len(),
+            "packet arena out of balance: {} handles queued, {} slots live",
+            queued,
+            self.arena.len(),
+        );
         let leaves = self
             .leaves
             .iter()
@@ -576,6 +656,7 @@ impl Simulation {
         self.auditor.check(
             self.q.now().as_ps(),
             leaves.chain(spines),
+            &self.arena,
             in_flight,
             recirc,
             drain,
@@ -682,7 +763,8 @@ impl Simulation {
             return;
         }
         // Control frames first — they ride the lossless control class.
-        if let Some(pkt) = self.host_ctrl[h as usize].pop_front() {
+        if let Some(hdl) = self.host_ctrl[h as usize].pop_front() {
+            let pkt = self.arena.free(hdl);
             self.host_transmit(h, pkt);
             return;
         }
@@ -750,10 +832,15 @@ impl Simulation {
         );
     }
 
-    /// Queue a control frame at a host NIC and kick the NIC.
+    /// Park a control frame in the arena, queue its handle at a host NIC
+    /// and kick the NIC.
     fn host_send_control(&mut self, h: u32, pkt: Packet) {
         debug_assert!(pkt.kind.is_control());
-        self.host_ctrl[h as usize].push_back(pkt);
+        let now_ps = self.now().as_ps();
+        let hdl = self
+            .arena
+            .alloc(pkt.size_bytes, pkt.flow, true, now_ps, pkt);
+        self.host_ctrl[h as usize].push_back(hdl);
         self.host_try_send(h);
     }
 
@@ -906,8 +993,9 @@ impl Simulation {
         }
         if pkt.kind.is_control() {
             let out = self.route_control(node, &pkt);
-            let sw = self.switch_mut(node);
-            sw.enqueue(out, pkt);
+            let now_ps = self.now().as_ps();
+            let (sw, arena) = self.switch_and_arena(node);
+            sw.enqueue(arena, out, pkt, now_ps);
             self.try_transmit(node, out);
             return;
         }
@@ -964,8 +1052,8 @@ impl Simulation {
                 } else {
                     // --- the load-balancing decision point ---
                     self.perf_decisions += 1;
-                    self.assemble_paths(l, dst_leaf);
-                    let paths = std::mem::take(&mut self.path_scratch);
+                    let snap_idx = self.assemble_paths(l, dst_leaf);
+                    let paths = std::mem::take(&mut self.path_snaps[snap_idx].paths);
                     // Path-restricted flows (Fig. 4a's experimental control)
                     // only see a prefix of the uplinks.
                     let visible = match self.flows[pkt.flow as usize].spec.path_limit {
@@ -988,8 +1076,8 @@ impl Simulation {
                         }
                     };
                     // Hand the snapshot back *without* clearing: it stays
-                    // valid for the next decision until its stamp expires.
-                    self.path_scratch = paths;
+                    // valid for later decisions until its stamps go stale.
+                    self.path_snaps[snap_idx].paths = paths;
                     match decision {
                         Decision::Forward(s) => {
                             pkt.path = s as u8;
@@ -1048,7 +1136,8 @@ impl Simulation {
             sw.ecn_mark(out)
         };
         pkt.ecn |= mark;
-        self.switch_mut(node).enqueue(out, pkt);
+        let (sw, arena) = self.switch_and_arena(node);
+        sw.enqueue(arena, out, pkt, now.as_ps());
         self.try_transmit(node, out);
     }
 
@@ -1059,97 +1148,149 @@ impl Simulation {
         self.route_data(node, in_port, pkt);
     }
 
-    /// Snapshot every uplink's state for the LB decision.
+    /// Snapshot every uplink's state for the LB decision; returns the index
+    /// of the (leaf, dst_leaf) snapshot in `path_snaps`.
     ///
-    /// Incremental: the snapshot left in `path_scratch` by the previous
-    /// decision is stamped (`snap_stamp`) with the generation counters it
-    /// was built from, and three tiers apply, cheapest first:
+    /// Incremental with per-spine dirty bits: the stored snapshot carries
+    /// one generation stamp per spine for each independent input, and three
+    /// tiers apply, cheapest first:
     ///
-    /// 1. *Reuse* — same (leaf, dst_leaf), both generations unchanged, no
-    ///    warning expired: the snapshot is byte-identical, return as-is.
-    /// 2. *Refresh* — signals (warned/rtt/ecn) unchanged but the egress
-    ///    queues moved: rewrite only `queue_bytes`/`paused` in place,
-    ///    skipping the per-spine warning probe and estimator reads.
-    /// 3. *Rebuild* — anything else: reconstruct from scratch.
+    /// 1. *Reuse* — every per-spine stamp current, fault epoch unchanged,
+    ///    no armed warning expired: the snapshot is byte-identical to a
+    ///    rebuild, return as-is.
+    /// 2. *Refresh* — some spines went stale: rewrite exactly those entries
+    ///    in place (`queue_bytes`/`paused` for a queue-generation bump,
+    ///    `rtt_ns`/`ecn_fraction`/`warned` for a signal-generation bump),
+    ///    leaving clean spines untouched.
+    /// 3. *Rebuild* — first touch of the pair, or the fault epoch moved:
+    ///    reconstruct from scratch.
     ///
     /// Every field source is covered by a stamp input — `data_q_bytes` and
-    /// `paused` (incl. fault-driven link state) by `Switch::snap_gen`,
-    /// `rtt_ns`/`ecn_fraction` and warning *insertions* by
-    /// `LeafState::sig_gen`, warning *expiry* (time-based, bumps nothing)
-    /// by `valid_until_ps`, and `link_rate_bps` changes only through fault
-    /// events, each of which resets `snap_stamp` to `invalid()` outright —
-    /// so a reused snapshot equals what a rebuild would produce and replays
-    /// stay bit-exact.
-    fn assemble_paths(&mut self, leaf: u32, dst_leaf: u32) {
+    /// PFC `paused` by the per-port `EgressPort::q_gen`; `rtt_ns` /
+    /// `ecn_fraction` and warning *insertions* by the per-(spine, dst_leaf)
+    /// `path_sig_gen` plus the per-spine `uplink_sig_gen`; warning *expiry*
+    /// (time-based, bumps nothing) by `valid_until_ps` against the stored
+    /// per-spine deadlines; and `link_rate_bps` / `link_down` change only
+    /// through fault events, which bump `fault_epoch` — so a reused or
+    /// refreshed entry equals what a rebuild would produce and replays stay
+    /// bit-exact (verified by the A/B `--stable-json` acceptance runs).
+    fn assemble_paths(&mut self, leaf: u32, dst_leaf: u32) -> usize {
         let now_ps = self.now().as_ps();
-        let n_spines = self.cfg.topo.n_spines;
-        let hpl = self.cfg.topo.hosts_per_leaf;
+        let n_spines = self.cfg.topo.n_spines as usize;
+        let n_leaves = self.cfg.topo.n_leaves as usize;
+        let hpl = self.cfg.topo.hosts_per_leaf as usize;
         let rlb_on = self.cfg.rlb.is_some();
         let sw = &self.leaves[leaf as usize];
         let ls = sw.leaf.as_ref().expect("leaf state");
-        let st = self.snap_stamp;
-        if st.leaf == leaf
-            && st.dst_leaf == dst_leaf
-            && st.sig_gen == ls.sig_gen
-            && now_ps < st.valid_until_ps
-            && self.path_scratch.len() == n_spines as usize
-        {
-            if st.queue_gen == sw.snap_gen {
-                self.snap_reuses += 1;
-                return;
+        let dst = dst_leaf as usize;
+        let snap_idx = leaf as usize * n_leaves + dst;
+        let snap = &mut self.path_snaps[snap_idx];
+
+        if !snap.init || snap.fault_epoch != self.fault_epoch || snap.paths.len() != n_spines {
+            // Tier 3: full rebuild.
+            snap.paths.clear();
+            // First instant at which a currently-armed warning lapses; the
+            // snapshot's warned bits go stale there. Unwarned paths can
+            // only *become* warned through warn_* calls, which bump the
+            // signal generations.
+            let mut valid_until = u64::MAX;
+            for s in 0..n_spines {
+                let ep = &sw.egress[hpl + s];
+                let until = if rlb_on {
+                    ls.warnings.warned_until(s, dst)
+                } else {
+                    0
+                };
+                let warned = until > now_ps;
+                if warned {
+                    valid_until = valid_until.min(until);
+                }
+                snap.warned_until_ps[s] = until;
+                snap.q_gens[s] = ep.q_gen;
+                snap.sig_gens[s] = ls.path_sig_gen(s, dst);
+                snap.uplink_gens[s] = ls.uplink_sig_gen(s);
+                snap.paths.push(PathInfo {
+                    queue_bytes: ep.data_q_bytes,
+                    paused: ep.data_blocked(),
+                    warned,
+                    rtt_ns: ls.rtt(s, dst),
+                    ecn_fraction: ls.ecn(s, dst),
+                    link_rate_bps: ep.rate_bps as f64,
+                });
             }
-            for (s, p) in self.path_scratch.iter_mut().enumerate() {
-                let ep = &sw.egress[hpl as usize + s];
+            snap.valid_until_ps = valid_until;
+            snap.fault_epoch = self.fault_epoch;
+            snap.init = true;
+            self.snap_rebuilds += 1;
+            return snap_idx;
+        }
+
+        // Tiers 1 and 2 in one pass: rewrite exactly the spines whose
+        // generation went stale (or whose warned bit the expiry boundary
+        // can have flipped), counting as we go. A clean, unexpired pass
+        // rewrites nothing and classifies as a reuse.
+        let expired = now_ps >= snap.valid_until_ps;
+        let mut q_dirty = 0u64;
+        let mut sig_dirty = 0u64;
+        for s in 0..n_spines {
+            let ep = &sw.egress[hpl + s];
+            if snap.q_gens[s] != ep.q_gen {
+                q_dirty += 1;
+                let p = &mut snap.paths[s];
                 p.queue_bytes = ep.data_q_bytes;
                 p.paused = ep.data_blocked();
+                snap.q_gens[s] = ep.q_gen;
             }
-            self.snap_stamp.queue_gen = sw.snap_gen;
-            self.snap_refreshes += 1;
-            return;
+            let sg = ls.path_sig_gen(s, dst);
+            let ug = ls.uplink_sig_gen(s);
+            if snap.sig_gens[s] != sg || snap.uplink_gens[s] != ug {
+                sig_dirty += 1;
+                let until = if rlb_on {
+                    ls.warnings.warned_until(s, dst)
+                } else {
+                    0
+                };
+                let p = &mut snap.paths[s];
+                snap.warned_until_ps[s] = until;
+                p.warned = until > now_ps;
+                p.rtt_ns = ls.rtt(s, dst);
+                p.ecn_fraction = ls.ecn(s, dst);
+                snap.sig_gens[s] = sg;
+                snap.uplink_gens[s] = ug;
+            } else if expired {
+                // No new signal, but time crossed the snapshot's earliest
+                // warning deadline: recompute the bit from the stored one.
+                snap.paths[s].warned = snap.warned_until_ps[s] > now_ps;
+            }
         }
-        self.snap_rebuilds += 1;
-        self.path_scratch.clear();
-        // First instant at which a currently-armed warning lapses; the
-        // snapshot's warned bits go stale there. Unwarned paths can only
-        // *become* warned through warn_* calls, which bump sig_gen.
-        let mut valid_until = u64::MAX;
-        for s in 0..n_spines {
-            let port = (hpl + s) as usize;
-            let ep = &sw.egress[port];
-            let mut warned = false;
-            if rlb_on {
-                let until = ls.warnings.warned_until(s as usize, dst_leaf as usize);
+        if !expired && q_dirty == 0 && sig_dirty == 0 {
+            // Tier 1: byte-identical reuse (nothing was rewritten above).
+            self.snap_reuses += 1;
+            return snap_idx;
+        }
+        if expired || sig_dirty > 0 {
+            let mut valid_until = u64::MAX;
+            for &until in &snap.warned_until_ps {
                 if until > now_ps {
-                    warned = true;
                     valid_until = valid_until.min(until);
                 }
             }
-            self.path_scratch.push(PathInfo {
-                queue_bytes: ep.data_q_bytes,
-                paused: ep.data_blocked(),
-                warned,
-                rtt_ns: ls.rtt(s as usize, dst_leaf as usize),
-                ecn_fraction: ls.ecn(s as usize, dst_leaf as usize),
-                link_rate_bps: ep.rate_bps as f64,
-            });
+            snap.valid_until_ps = valid_until;
         }
-        self.snap_stamp = SnapStamp {
-            leaf,
-            dst_leaf,
-            queue_gen: sw.snap_gen,
-            sig_gen: ls.sig_gen,
-            valid_until_ps: valid_until,
-        };
+        self.snap_refreshes += 1;
+        self.snap_dirty_q_spines += q_dirty;
+        self.snap_dirty_sig_spines += sig_dirty;
+        snap_idx
     }
 
     fn try_transmit(&mut self, node: Node, port: u16) {
         let now = self.now();
         let (pkt, rate) = {
-            let sw = self.switch_mut(node);
+            let (sw, arena) = self.switch_and_arena(node);
             if sw.egress[port as usize].busy {
                 return;
             }
-            match sw.next_to_transmit(port) {
+            match sw.next_to_transmit(arena, port) {
                 Some(p) => {
                     sw.egress[port as usize].busy = true;
                     (p, sw.egress[port as usize].rate_bps)
@@ -1239,8 +1380,8 @@ impl Simulation {
                     host.paused_since_ps = now_ps;
                 } else if !pause && host.paused {
                     host.paused = false;
-                    self.counters.paused_port_time_ps +=
-                        now_ps.saturating_sub(host.paused_since_ps);
+                    self.paused_port_time +=
+                        SimTime(now_ps).saturating_since(SimTime(host.paused_since_ps));
                     self.host_try_send(h);
                 }
             }
@@ -1252,16 +1393,17 @@ impl Simulation {
                     if pause && !was {
                         ep.paused = true;
                         ep.paused_since_ps = now_ps;
-                        sw.snap_gen = sw.snap_gen.wrapping_add(1);
+                        ep.q_gen = ep.q_gen.wrapping_add(1);
                     } else if !pause && was {
                         ep.paused = false;
-                        sw.snap_gen = sw.snap_gen.wrapping_add(1);
+                        ep.q_gen = ep.q_gen.wrapping_add(1);
                     }
                     was
                 };
                 if !pause && was_paused {
                     let since = self.switch_mut(node).egress[port as usize].paused_since_ps;
-                    self.counters.paused_port_time_ps += now_ps.saturating_sub(since);
+                    self.paused_port_time +=
+                        SimTime(now_ps).saturating_since(SimTime(since));
                     self.try_transmit(node, port);
                 }
             }
@@ -1303,7 +1445,7 @@ impl Simulation {
             }
         }
         self.counters.faults_applied += 1;
-        self.snap_stamp = SnapStamp::invalid();
+        self.fault_epoch = self.fault_epoch.wrapping_add(1);
     }
 
     /// Fail or restore the bidirectional `leaf <-> spine` link. Idempotent.
@@ -1311,16 +1453,12 @@ impl Simulation {
     /// directions are kicked on recovery so frozen queues resume draining.
     fn fault_set_link_down(&mut self, leaf: u32, spine: u32, down: bool) {
         let up_port = self.topo.leaf_uplink_port(spine) as usize;
+        // Link state is only read at snapshot-rebuild time; `on_fault`
+        // bumps the fault epoch, which forces exactly that.
         let lsw = &mut self.leaves[leaf as usize];
-        if lsw.egress[up_port].link_down != down {
-            lsw.egress[up_port].link_down = down;
-            lsw.snap_gen = lsw.snap_gen.wrapping_add(1);
-        }
+        lsw.egress[up_port].link_down = down;
         let ssw = &mut self.spines[spine as usize];
-        if ssw.egress[leaf as usize].link_down != down {
-            ssw.egress[leaf as usize].link_down = down;
-            ssw.snap_gen = ssw.snap_gen.wrapping_add(1);
-        }
+        ssw.egress[leaf as usize].link_down = down;
         if !down {
             self.try_transmit(Node::Leaf(leaf), up_port as u16);
             self.try_transmit(Node::Spine(spine), leaf as u16);
@@ -1333,10 +1471,8 @@ impl Simulation {
         let up_port = self.topo.leaf_uplink_port(spine) as usize;
         let lsw = &mut self.leaves[leaf as usize];
         lsw.egress[up_port].rate_bps = rate_bps;
-        lsw.snap_gen = lsw.snap_gen.wrapping_add(1);
         let ssw = &mut self.spines[spine as usize];
         ssw.egress[leaf as usize].rate_bps = rate_bps;
-        ssw.snap_gen = ssw.snap_gen.wrapping_add(1);
     }
 
     // ------------------------------------------------------------------
@@ -1455,8 +1591,9 @@ impl Simulation {
             cum: 0,
             nack: false,
         };
-        let sw = self.switch_mut(node);
-        sw.enqueue(out_port, pkt);
+        let now_ps = self.now().as_ps();
+        let (sw, arena) = self.switch_and_arena(node);
+        sw.enqueue(arena, out_port, pkt, now_ps);
         self.try_transmit(node, out_port);
     }
 
@@ -1493,7 +1630,7 @@ impl Simulation {
                         if let Some(s) = self.topo.spine_of_leaf_port(origin_port) {
                             if dst_leaf != l {
                                 ls.warnings.warn_path(s as usize, dst_leaf as usize, until);
-                                ls.sig_gen = ls.sig_gen.wrapping_add(1);
+                                ls.note_path_warn(s as usize, dst_leaf as usize);
                             }
                         }
                     }
@@ -1503,13 +1640,13 @@ impl Simulation {
                         // then every path through s from here is endangered.
                         if origin_port as u32 == l {
                             ls.warnings.warn_uplink(s as usize, until);
-                            ls.sig_gen = ls.sig_gen.wrapping_add(1);
+                            ls.note_uplink_warn(s as usize);
                         } else if s == via_spine {
                             // Another leaf overloads this spine's ingress;
                             // its egress toward our destinations may still
                             // pause. Treat as a mild uplink warning too.
                             ls.warnings.warn_uplink(s as usize, until);
-                            ls.sig_gen = ls.sig_gen.wrapping_add(1);
+                            ls.note_uplink_warn(s as usize);
                         }
                     }
                     Node::Host(_) => {}

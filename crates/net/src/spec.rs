@@ -29,7 +29,7 @@ use crate::scenario::Scenario;
 use rlb_core::RlbConfig;
 use rlb_engine::{substream, SimDuration, SimTime};
 use rlb_lb::Scheme;
-use rlb_workloads::{LoadCurve, PairPolicy, PoissonTraffic, Workload};
+use rlb_workloads::{incast, IncastConfig, LoadCurve, PairPolicy, PoissonTraffic, Workload};
 use serde::Serialize;
 
 /// A parse error with the span it points at. `Display` renders a caret
@@ -124,6 +124,32 @@ impl Default for TopoSpec {
     }
 }
 
+/// Optional `[incast]` section: a §4.3 fan-in burst layered over the
+/// workload mix (which then plays the role of background traffic).
+/// Defaults mirror [`crate::scenario::IncastScenarioConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct IncastSpec {
+    /// Responding servers per request (the fan-in degree).
+    pub degree: u32,
+    /// Total bytes across all responders for one request (the burst size).
+    pub total_response_bytes: u64,
+    /// Number of incast requests issued.
+    pub requests: u32,
+    /// Gap between successive requests.
+    pub request_interval: SimDuration,
+}
+
+impl Default for IncastSpec {
+    fn default() -> Self {
+        IncastSpec {
+            degree: 15,
+            total_response_bytes: 4_000_000,
+            requests: 8,
+            request_interval: SimDuration::from_ms(1),
+        }
+    }
+}
+
 /// A declarative scenario: topology + workload mix + fault timeline +
 /// load curve. Parsed from spec text, buildable into a [`Scenario`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -137,6 +163,8 @@ pub struct ScenarioSpec {
     /// Flow-arrival horizon (the run's hard stop is 25× this).
     pub horizon: SimTime,
     pub topo: TopoSpec,
+    /// Optional incast overlay; the workload mix becomes the background.
+    pub incast: Option<IncastSpec>,
     /// Traffic mix: every entry generates independently and the flows merge.
     pub workloads: Vec<WorkloadEntry>,
     pub faults: Vec<FaultEntry>,
@@ -154,6 +182,7 @@ impl Default for ScenarioSpec {
             seed: 1,
             horizon: SimTime::from_ms(4),
             topo: TopoSpec::default(),
+            incast: None,
             workloads: vec![WorkloadEntry::default()],
             faults: Vec::new(),
             load_points: Vec::new(),
@@ -241,6 +270,14 @@ impl ScenarioSpec {
         let _ = writeln!(w, "link_rate_bps = {}", self.topo.link_rate_bps);
         let _ = writeln!(w, "host_link_rate_bps = {}", self.topo.host_link_rate_bps);
         let _ = writeln!(w, "link_delay_ps = {}", self.topo.link_delay_ps);
+        if let Some(ic) = &self.incast {
+            let _ = writeln!(w);
+            let _ = writeln!(w, "[incast]");
+            let _ = writeln!(w, "degree = {}", ic.degree);
+            let _ = writeln!(w, "total_response_bytes = {}", ic.total_response_bytes);
+            let _ = writeln!(w, "requests = {}", ic.requests);
+            let _ = writeln!(w, "request_interval_ps = {}", ic.request_interval.as_ps());
+        }
         for wl in &self.workloads {
             let _ = writeln!(w);
             let _ = writeln!(w, "[[workload]]");
@@ -331,6 +368,32 @@ impl ScenarioSpec {
         };
         let curve = LoadCurve::new(self.load_points.clone())?;
         let mut flows = Vec::new();
+        // Incast overlay first: same substream label as `incast_scenario`,
+        // so a spec-driven incast replays the programmatic one bit-exactly.
+        if let Some(ic) = &self.incast {
+            if topo.n_leaves < 2 {
+                return Err("incast needs at least two leaves".to_string());
+            }
+            if ic.degree > topo.n_hosts() - topo.hosts_per_leaf {
+                return Err(format!(
+                    "incast degree {} exceeds the {} off-leaf hosts available",
+                    ic.degree,
+                    topo.n_hosts() - topo.hosts_per_leaf
+                ));
+            }
+            let mut rng = substream(self.seed, b"incast", 0);
+            flows.extend(incast::generate(
+                &IncastConfig {
+                    degree: ic.degree,
+                    total_response_bytes: ic.total_response_bytes,
+                    requests: ic.requests,
+                    request_interval: ic.request_interval,
+                    num_hosts: topo.n_hosts(),
+                    hosts_per_leaf: topo.hosts_per_leaf,
+                },
+                &mut rng,
+            ));
+        }
         for (i, wl) in self.workloads.iter().enumerate() {
             if wl.load_permille == 0 {
                 return Err(format!("workload {i} has zero load"));
@@ -363,12 +426,22 @@ impl ScenarioSpec {
             }
         }
         faults.sort_by_key(|tf| tf.at);
+        // The hard stop must outlast the incast burst train too, not just
+        // the Poisson arrival horizon (same 30× slack as `incast_scenario`).
+        let mut hard_stop = SimTime::ZERO + self.horizon.as_duration().mul_u64(25);
+        if let Some(ic) = &self.incast {
+            let burst_stop = SimTime::ZERO
+                + ic.request_interval
+                    .mul_u64(ic.requests as u64 + 1)
+                    .mul_u64(30);
+            hard_stop = hard_stop.max(burst_stop);
+        }
         let cfg = SimConfig {
             topo,
             scheme: self.scheme,
             rlb: self.rlb.then(RlbConfig::default),
             seed: self.seed,
-            hard_stop: SimTime::ZERO + self.horizon.as_duration().mul_u64(25),
+            hard_stop,
             faults,
             ..SimConfig::default()
         };
@@ -401,6 +474,7 @@ enum Section {
     None,
     Scenario,
     Topology,
+    Incast,
     Workload,
     Fault,
     Load,
@@ -490,6 +564,7 @@ impl<'a> Parser<'a> {
                 }
                 Section::Scenario => self.scenario_key(i, key, key_col, val, &mut spec)?,
                 Section::Topology => self.topology_key(i, key, key_col, val, &mut spec)?,
+                Section::Incast => self.incast_key(i, key, key_col, val, &mut spec)?,
                 Section::Workload => {
                     let wl = spec.workloads.last_mut().expect("open workload table");
                     match key {
@@ -633,12 +708,16 @@ impl<'a> Parser<'a> {
             return match name {
                 "scenario" => Ok(Section::Scenario),
                 "topology" => Ok(Section::Topology),
+                "incast" => {
+                    spec.incast = Some(IncastSpec::default());
+                    Ok(Section::Incast)
+                }
                 _ => Err(self.err(
                     i,
                     col,
                     trimmed.len(),
                     format!("unknown section `[{name}]`"),
-                    Some("known sections: [scenario], [topology]"),
+                    Some("known sections: [scenario], [topology], [incast]"),
                 )),
             };
         }
@@ -712,6 +791,45 @@ impl<'a> Parser<'a> {
                     "[topology]",
                     "n_leaves, n_spines, hosts_per_leaf, link_rate_bps, \
                      host_link_rate_bps, link_delay_ps",
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn incast_key(
+        &self,
+        i: usize,
+        key: &str,
+        key_col: usize,
+        val: Val<'a>,
+        spec: &mut ScenarioSpec,
+    ) -> Result<(), SpecError> {
+        let ic = spec.incast.as_mut().expect("open [incast] section");
+        match key {
+            "degree" => {
+                let d = self.as_u32(i, val)?;
+                if d == 0 {
+                    return Err(self.err(
+                        i,
+                        val.col,
+                        val.len,
+                        "incast degree must be at least 1",
+                        None,
+                    ));
+                }
+                ic.degree = d;
+            }
+            "total_response_bytes" => ic.total_response_bytes = self.as_u64(i, val)?,
+            "requests" => ic.requests = self.as_u32(i, val)?,
+            "request_interval_ps" => ic.request_interval = SimDuration(self.as_u64(i, val)?),
+            _ => {
+                return Err(self.unknown_key(
+                    i,
+                    key,
+                    key_col,
+                    "[incast]",
+                    "degree, total_response_bytes, requests, request_interval_ps",
                 ))
             }
         }
@@ -1064,6 +1182,89 @@ permille = 1500
         assert!(e.contains("leaf 99 out of range"), "{e}");
     }
 
+    const INCAST_EXAMPLE: &str = r#"
+[scenario]
+name = "incast-storm"
+scheme = "letflow"
+rlb = true
+seed = 3
+horizon_ps = 8_000_000_000
+
+[topology]
+n_leaves = 4
+n_spines = 4
+hosts_per_leaf = 8
+
+[incast]
+degree = 15
+total_response_bytes = 4_000_000
+requests = 8
+request_interval_ps = 1_000_000_000
+
+[[workload]]
+kind = "web_search"
+load_permille = 200
+"#;
+
+    #[test]
+    fn parses_the_incast_example() {
+        let s = ScenarioSpec::parse(INCAST_EXAMPLE).expect("incast example parses");
+        let ic = s.incast.expect("incast section present");
+        assert_eq!(ic.degree, 15);
+        assert_eq!(ic.total_response_bytes, 4_000_000);
+        assert_eq!(ic.requests, 8);
+        assert_eq!(ic.request_interval, SimDuration::from_ms(1));
+        // Round-trips through the canonical writer.
+        let back = ScenarioSpec::parse(&s.to_spec_text()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn incast_spec_matches_programmatic_scenario() {
+        use crate::scenario::{incast_scenario, IncastScenarioConfig};
+        let s = ScenarioSpec::parse(INCAST_EXAMPLE).unwrap();
+        let sc = s.build().expect("builds");
+        // The overlay's flows must replay `incast_scenario`'s bit-exactly:
+        // same substream label, same IncastConfig.
+        let reference = incast_scenario(
+            &IncastScenarioConfig {
+                topo: TopoConfig {
+                    n_leaves: 4,
+                    n_spines: 4,
+                    hosts_per_leaf: 8,
+                    ..TopoConfig::default()
+                },
+                background_load: 0.0,
+                seed: 3,
+                ..IncastScenarioConfig::default()
+            },
+            Scheme::LetFlow,
+            Some(RlbConfig::default()),
+        );
+        for rf in &reference.flows {
+            assert!(
+                sc.flows.iter().any(|f| f.src_host == rf.src_host
+                    && f.dst_host == rf.dst_host
+                    && f.size_bytes == rf.size_bytes
+                    && f.start == rf.start),
+                "reference incast flow missing from spec build: {rf:?}"
+            );
+        }
+        // Background web_search traffic rides on top.
+        assert!(sc.flows.len() > reference.flows.len());
+        // Hard stop covers the whole 8-request burst train.
+        assert!(sc.cfg.hard_stop >= SimTime::ZERO + SimDuration::from_ms(9).mul_u64(30));
+    }
+
+    #[test]
+    fn incast_degree_out_of_range_is_a_build_error() {
+        let mut s = ScenarioSpec::parse(INCAST_EXAMPLE).unwrap();
+        // 4 leaves × 8 hosts = 32 hosts, 24 off-leaf candidates.
+        s.incast.as_mut().unwrap().degree = 25;
+        let e = s.build().unwrap_err();
+        assert!(e.contains("exceeds the 24 off-leaf hosts"), "{e}");
+    }
+
     // --- snapshot tests: malformed specs must render exactly these frames ---
 
     fn render_err(text: &str) -> String {
@@ -1132,7 +1333,34 @@ permille = 1500
              --> scenario spec, line 1\n  \
              |\n\
              1 | [scenari]\n  \
-             | ^^^^^^^^^ known sections: [scenario], [topology]"
+             | ^^^^^^^^^ known sections: [scenario], [topology], [incast]"
+        );
+    }
+
+    #[test]
+    fn snapshot_zero_incast_degree() {
+        let text = "[scenario]\nseed = 1\n\n[incast]\ndegree = 0\n";
+        assert_eq!(
+            render_err(text),
+            "error: incast degree must be at least 1\n \
+             --> scenario spec, line 5\n  \
+             |\n\
+             5 | degree = 0\n  \
+             |          ^"
+        );
+    }
+
+    #[test]
+    fn snapshot_unknown_incast_key() {
+        let text = "[scenario]\nseed = 1\n\n[incast]\nfanin = 4\n";
+        assert_eq!(
+            render_err(text),
+            "error: unknown key `fanin` in [incast]\n \
+             --> scenario spec, line 5\n  \
+             |\n\
+             5 | fanin = 4\n  \
+             | ^^^^^ known keys: degree, total_response_bytes, requests, \
+             request_interval_ps"
         );
     }
 
@@ -1227,16 +1455,32 @@ permille = 1500
             .boxed()
         }
 
+        fn arb_incast() -> BoxedStrategy<Option<IncastSpec>> {
+            prop_oneof![
+                Just(None),
+                (1u32..64, 1u64..100_000_000, 1u32..32, 1u64..10_000_000_000u64).prop_map(
+                    |(degree, total_response_bytes, requests, interval)| Some(IncastSpec {
+                        degree,
+                        total_response_bytes,
+                        requests,
+                        request_interval: SimDuration(interval),
+                    })
+                ),
+            ]
+            .boxed()
+        }
+
         fn arb_spec() -> BoxedStrategy<ScenarioSpec> {
             (
                 (arb_name(), arb_scheme(), any::<bool>(), any::<u64>(), 1u64..10_000_000_000_000),
                 (2u32..8, 2u32..8, 1u32..16),
+                arb_incast(),
                 proptest::collection::vec(arb_workload(), 0..3),
                 proptest::collection::vec(arb_fault(), 0..5),
                 proptest::collection::vec((0u64..10_000_000_000_000u64, 1u32..4000), 0..4),
             )
                 .prop_map(
-                    |((name, scheme, rlb, seed, horizon), (nl, ns, hpl), mut workloads, faults, loads)| {
+                    |((name, scheme, rlb, seed, horizon), (nl, ns, hpl), incast, mut workloads, faults, loads)| {
                         if workloads.is_empty() {
                             // parse() restores the default mix for empty
                             // spec files, so canonical equality needs ≥1.
@@ -1254,6 +1498,7 @@ permille = 1500
                                 hosts_per_leaf: hpl,
                                 ..TopoSpec::default()
                             },
+                            incast,
                             workloads,
                             faults,
                             load_points: loads

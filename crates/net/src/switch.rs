@@ -16,15 +16,27 @@ use crate::config::SwitchConfig;
 use crate::packet::Packet;
 use rand::Rng;
 use rlb_core::{ContributorTable, PfcPredictor, Rlb, WarningTable};
-use rlb_engine::SimRng;
+use rlb_engine::{PacketArena, PacketHandle, SimRng};
 use std::collections::VecDeque;
 
 /// One egress port: data FIFO + strict-priority control FIFO.
+///
+/// The FIFOs hold [`PacketHandle`]s into the simulation's [`PacketArena`];
+/// the packets themselves sit still in the arena from enqueue to dequeue.
+/// Byte accounting reads the arena's SoA size column, never the cold
+/// payload.
 #[derive(Debug, Default)]
 pub struct EgressPort {
-    pub data_q: VecDeque<Packet>,
-    pub ctrl_q: VecDeque<Packet>,
+    pub data_q: VecDeque<PacketHandle>,
+    pub ctrl_q: VecDeque<PacketHandle>,
     pub data_q_bytes: u64,
+    /// Queue generation: bumped whenever a data packet enters or leaves
+    /// this port's FIFO or its pause state toggles — exactly the
+    /// port-local changes a cached `PathInfo` snapshot depends on. The
+    /// path-snapshot cache compares these per spine, so activity on one
+    /// uplink no longer invalidates its siblings (see
+    /// `Simulation::assemble_paths`).
+    pub q_gen: u64,
     /// A frame is currently serializing out of this port.
     pub busy: bool,
     /// Data class paused by a downstream PFC PAUSE.
@@ -58,10 +70,17 @@ pub struct LeafState {
     pub rtt_ns: Vec<f64>,
     /// EWMA ECN-mark fraction, same indexing.
     pub ecn_frac: Vec<f64>,
-    /// Signal generation: bumped whenever an estimator sample or a warning
-    /// insertion could change a `PathInfo`'s warned/rtt/ecn fields. Read by
-    /// the simulator's path-snapshot cache (see `Simulation::assemble_paths`).
-    pub sig_gen: u64,
+    /// Per-(spine, dst_leaf) signal generation: bumped whenever an
+    /// estimator sample or a path-granular warning could change that one
+    /// path's warned/rtt/ecn fields. Indexed `[spine * n_leaves +
+    /// dst_leaf]`. Read by the simulator's path-snapshot cache, which
+    /// compares these per spine so an ACK for one destination no longer
+    /// invalidates snapshots toward every other.
+    path_sig_gens: Vec<u64>,
+    /// Per-spine generation for uplink-granularity warnings (those
+    /// endanger every destination through the spine, so they get their own
+    /// axis instead of fanning out over all `path_sig_gens`).
+    uplink_sig_gens: Vec<u64>,
     n_leaves: usize,
 }
 
@@ -87,7 +106,8 @@ impl LeafState {
             warnings: WarningTable::new(n_spines, n_leaves),
             rtt_ns: vec![base_rtt_ns; n_spines * n_leaves],
             ecn_frac: vec![0.0; n_spines * n_leaves],
-            sig_gen: 0,
+            path_sig_gens: vec![0; n_spines * n_leaves],
+            uplink_sig_gens: vec![0; n_spines],
             n_leaves,
         }
     }
@@ -108,7 +128,34 @@ impl LeafState {
         let i = self.idx(spine, dst_leaf);
         self.rtt_ns[i] = (1.0 - A) * self.rtt_ns[i] + A * rtt_ns;
         self.ecn_frac[i] = (1.0 - A) * self.ecn_frac[i] + A * if ecn { 1.0 } else { 0.0 };
-        self.sig_gen = self.sig_gen.wrapping_add(1);
+        self.path_sig_gens[i] = self.path_sig_gens[i].wrapping_add(1);
+    }
+
+    /// Note a path-granularity warning insertion for (spine, dst_leaf) —
+    /// call after `warnings.warn_path` so cached snapshots of that one
+    /// path re-probe the warning table.
+    pub fn note_path_warn(&mut self, spine: usize, dst_leaf: usize) {
+        let i = self.idx(spine, dst_leaf);
+        self.path_sig_gens[i] = self.path_sig_gens[i].wrapping_add(1);
+    }
+
+    /// Note an uplink-granularity warning insertion for `spine` — call
+    /// after `warnings.warn_uplink`; it endangers every destination
+    /// through that spine.
+    pub fn note_uplink_warn(&mut self, spine: usize) {
+        self.uplink_sig_gens[spine] = self.uplink_sig_gens[spine].wrapping_add(1);
+    }
+
+    /// Current path-granular signal generation for (spine, dst_leaf).
+    #[inline]
+    pub fn path_sig_gen(&self, spine: usize, dst_leaf: usize) -> u64 {
+        self.path_sig_gens[self.idx(spine, dst_leaf)]
+    }
+
+    /// Current uplink-granular signal generation for `spine`.
+    #[inline]
+    pub fn uplink_sig_gen(&self, spine: usize) -> u64 {
+        self.uplink_sig_gens[spine]
     }
 
     pub fn rtt(&self, spine: usize, dst_leaf: usize) -> f64 {
@@ -162,10 +209,6 @@ pub struct Switch {
     pub contributors: ContributorTable,
     /// Leaf-only state.
     pub leaf: Option<LeafState>,
-    /// Egress-queue generation: bumped whenever a data packet enters or
-    /// leaves an egress FIFO, or an egress port's pause state toggles —
-    /// exactly the switch-local changes a `PathInfo` snapshot depends on.
-    pub snap_gen: u64,
     cfg: SwitchConfig,
     rng: SimRng,
     pub drops: u64,
@@ -197,7 +240,6 @@ impl Switch {
             sampler_tick_armed: false,
             contributors: ContributorTable::new(n_ports, contributor_window_ps),
             leaf: None,
-            snap_gen: 0,
             cfg,
             rng,
             drops: 0,
@@ -274,36 +316,45 @@ impl Switch {
         mark
     }
 
-    /// Enqueue to the proper class queue.
-    pub fn enqueue(&mut self, port: u16, pkt: Packet) {
+    /// Park the packet in the arena and enqueue its handle on the proper
+    /// class queue. `now_ps` stamps the arena's enqueue-time hot column.
+    pub fn enqueue(&mut self, arena: &mut PacketArena<Packet>, port: u16, pkt: Packet, now_ps: u64) {
         let ep = &mut self.egress[port as usize];
-        if pkt.kind.is_control() {
-            ep.ctrl_q.push_back(pkt);
+        let control = pkt.kind.is_control();
+        let size = pkt.size_bytes;
+        let h = arena.alloc(size, pkt.flow, control, now_ps, pkt);
+        if control {
+            ep.ctrl_q.push_back(h);
         } else {
-            ep.data_q_bytes += pkt.size_bytes as u64;
-            ep.data_q.push_back(pkt);
-            self.snap_gen = self.snap_gen.wrapping_add(1);
+            ep.data_q_bytes += size as u64;
+            ep.data_q.push_back(h);
+            ep.q_gen = ep.q_gen.wrapping_add(1);
         }
     }
 
     /// Pick the next frame eligible for transmission on `port`, honouring
-    /// strict control priority and data-class pausing. Returns `None` when
-    /// the port should go idle.
-    pub fn next_to_transmit(&mut self, port: u16) -> Option<Packet> {
+    /// strict control priority and data-class pausing, and take it out of
+    /// the arena. Returns `None` when the port should go idle.
+    pub fn next_to_transmit(
+        &mut self,
+        arena: &mut PacketArena<Packet>,
+        port: u16,
+    ) -> Option<Packet> {
         let ep = &mut self.egress[port as usize];
         debug_assert!(!ep.busy);
         if ep.link_down {
             return None;
         }
-        if let Some(pkt) = ep.ctrl_q.pop_front() {
-            return Some(pkt);
+        if let Some(h) = ep.ctrl_q.pop_front() {
+            return Some(arena.free(h));
         }
         if ep.paused {
             return None;
         }
-        let pkt = ep.data_q.pop_front()?;
+        let h = ep.data_q.pop_front()?;
+        let pkt = arena.free(h);
         ep.data_q_bytes -= pkt.size_bytes as u64;
-        self.snap_gen = self.snap_gen.wrapping_add(1);
+        ep.q_gen = ep.q_gen.wrapping_add(1);
         Some(pkt)
     }
 
@@ -382,18 +433,46 @@ mod tests {
     #[test]
     fn control_has_strict_priority_and_ignores_pause() {
         let mut s = sw();
-        s.enqueue(0, data(1_000));
+        let mut arena: PacketArena<Packet> = PacketArena::new();
+        s.enqueue(&mut arena, 0, data(1_000), 0);
         let mut cnp = Packet::data(0, 0, 64, 1, 0, 0);
         cnp.kind = PacketKind::Cnp;
-        s.enqueue(0, cnp);
+        s.enqueue(&mut arena, 0, cnp, 0);
+        assert_eq!(arena.len(), 2, "both frames parked in the arena");
         // Paused port: control still flows, data does not.
         s.egress[0].paused = true;
-        let first = s.next_to_transmit(0).unwrap();
+        let first = s.next_to_transmit(&mut arena, 0).unwrap();
         assert_eq!(first.kind, PacketKind::Cnp);
-        assert!(s.next_to_transmit(0).is_none(), "data must wait out the pause");
+        assert!(
+            s.next_to_transmit(&mut arena, 0).is_none(),
+            "data must wait out the pause"
+        );
         s.egress[0].paused = false;
-        assert_eq!(s.next_to_transmit(0).unwrap().kind, PacketKind::Data);
+        assert_eq!(
+            s.next_to_transmit(&mut arena, 0).unwrap().kind,
+            PacketKind::Data
+        );
         assert_eq!(s.egress[0].data_q_bytes, 0);
+        assert!(arena.is_empty(), "dequeued frames leave the arena");
+    }
+
+    #[test]
+    fn queue_generation_tracks_data_plane_only() {
+        let mut s = sw();
+        let mut arena: PacketArena<Packet> = PacketArena::new();
+        let g0 = s.egress[0].q_gen;
+        let mut cnp = Packet::data(0, 0, 64, 1, 0, 0);
+        cnp.kind = PacketKind::Cnp;
+        s.enqueue(&mut arena, 0, cnp, 0);
+        assert_eq!(s.egress[0].q_gen, g0, "control traffic is invisible to snapshots");
+        s.enqueue(&mut arena, 0, data(1_000), 0);
+        assert_eq!(s.egress[0].q_gen, g0 + 1);
+        s.enqueue(&mut arena, 1, data(1_000), 0);
+        assert_eq!(s.egress[0].q_gen, g0 + 1, "sibling port activity stays per-port");
+        let _ = s.next_to_transmit(&mut arena, 0); // pops the CNP (control)
+        assert_eq!(s.egress[0].q_gen, g0 + 1);
+        let _ = s.next_to_transmit(&mut arena, 0); // pops the data frame
+        assert_eq!(s.egress[0].q_gen, g0 + 2);
     }
 
     #[test]
@@ -428,5 +507,95 @@ mod tests {
         // Other paths untouched.
         assert_eq!(ls.rtt(1, 3), 10_000.0);
         assert_eq!(ls.ecn(2, 2), 0.0);
+    }
+
+    /// Differential: the arena-backed egress plane vs inline-packet queues,
+    /// with the real `Packet` type and the real `Switch` transmit rules.
+    /// Runs under `--features audit` alongside the other differential
+    /// reference tests.
+    #[cfg(feature = "audit")]
+    mod arena_differential {
+        use super::*;
+        use proptest::prelude::*;
+        use rlb_engine::PacketArena;
+        use std::collections::VecDeque;
+
+        /// Observable identity of a packet (it doesn't derive `PartialEq`).
+        fn sig(p: &Packet) -> (PacketKind, u32, u32, u32, u64) {
+            (p.kind, p.flow, p.psn, p.size_bytes, p.sent_ps)
+        }
+
+        proptest! {
+            /// Random interleavings of data/control enqueues, pause
+            /// toggles, and transmissions on a 4-port switch must match a
+            /// per-port `VecDeque<Packet>` model: same pop order and
+            /// payloads, same `data_q_bytes`, same arena occupancy.
+            #[test]
+            fn switch_egress_matches_vecdeque_reference(
+                ops in proptest::collection::vec((0u8..8, 0u16..4, 1u32..9_000), 1..300)
+            ) {
+                let mut s = sw();
+                let mut arena: PacketArena<Packet> = PacketArena::new();
+                let mut data: Vec<VecDeque<Packet>> = vec![VecDeque::new(); 4];
+                let mut ctrl: Vec<VecDeque<Packet>> = vec![VecDeque::new(); 4];
+                let mut paused = [false; 4];
+                let mut seq = 0u32;
+                for (kind, port, size) in ops {
+                    let p = port as usize;
+                    match kind {
+                        0..=2 => {
+                            let pkt = Packet::data(seq, seq, size, 0, 1, seq as u64 * 13);
+                            seq += 1;
+                            s.enqueue(&mut arena, port, pkt, pkt.sent_ps);
+                            data[p].push_back(pkt);
+                        }
+                        3 => {
+                            let d = Packet::data(seq, seq, size, 0, 1, seq as u64 * 13);
+                            let pkt = Packet::response(PacketKind::Ack, &d, seq, 64);
+                            seq += 1;
+                            s.enqueue(&mut arena, port, pkt, 0);
+                            ctrl[p].push_back(pkt);
+                        }
+                        4 => {
+                            paused[p] = !paused[p];
+                            s.egress[p].paused = paused[p];
+                        }
+                        _ => {
+                            let want = if let Some(c) = ctrl[p].pop_front() {
+                                Some(c)
+                            } else if paused[p] {
+                                None
+                            } else {
+                                data[p].pop_front()
+                            };
+                            let got = s.next_to_transmit(&mut arena, port);
+                            prop_assert_eq!(got.as_ref().map(sig), want.as_ref().map(sig));
+                        }
+                    }
+                    for q in 0..4 {
+                        let model_bytes: u64 =
+                            data[q].iter().map(|x| x.size_bytes as u64).sum();
+                        prop_assert_eq!(s.egress[q].data_q_bytes, model_bytes);
+                    }
+                    let queued: usize =
+                        data.iter().chain(ctrl.iter()).map(|q| q.len()).sum();
+                    prop_assert_eq!(arena.len(), queued);
+                }
+                // Unpause everything and drain: the full remaining order
+                // must match port by port.
+                for q in 0..4 {
+                    s.egress[q].paused = false;
+                    loop {
+                        let want = ctrl[q].pop_front().or_else(|| data[q].pop_front());
+                        let got = s.next_to_transmit(&mut arena, q as u16);
+                        prop_assert_eq!(got.as_ref().map(sig), want.as_ref().map(sig));
+                        if got.is_none() {
+                            break;
+                        }
+                    }
+                }
+                prop_assert!(arena.is_empty());
+            }
+        }
     }
 }

@@ -19,6 +19,7 @@
 //!   to a retransmission timeout when everything in flight was lost.
 
 use serde::Serialize;
+use std::collections::VecDeque;
 
 /// Receiver feedback for one data packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +104,9 @@ pub struct IrnSender {
     /// All PSNs below this are acked (mirror of the receiver's cumulative).
     cumulative: u32,
     /// PSNs queued for selective retransmission (ordered, deduplicated).
-    retx_queue: Vec<u32>,
+    /// A deque: the hot consumer pops from the front (`take_next`), which
+    /// must not shift the whole tail the way `Vec::remove(0)` did.
+    retx_queue: VecDeque<u32>,
     /// In-flight cap (BDP in packets).
     window: u32,
     in_flight: u32,
@@ -122,7 +125,7 @@ impl IrnSender {
             acked: vec![false; total_packets as usize],
             next_new: 0,
             cumulative: 0,
-            retx_queue: Vec::new(),
+            retx_queue: VecDeque::new(),
             window,
             in_flight: 0,
             packets_sent: 0,
@@ -138,7 +141,7 @@ impl IrnSender {
         if self.in_flight >= self.window {
             return None;
         }
-        if let Some(&psn) = self.retx_queue.first() {
+        if let Some(&psn) = self.retx_queue.front() {
             return Some(psn);
         }
         (self.next_new < self.total).then_some(self.next_new)
@@ -146,8 +149,7 @@ impl IrnSender {
 
     pub fn take_next(&mut self) -> Option<u32> {
         let psn = self.peek_next()?;
-        if !self.retx_queue.is_empty() {
-            self.retx_queue.remove(0);
+        if self.retx_queue.pop_front().is_some() {
             self.retransmissions += 1;
         } else {
             self.next_new += 1;
@@ -179,10 +181,10 @@ impl IrnSender {
             // receiver's cumulative pointer and the SACKed packet.
             for p in ack.cumulative..ack.sack {
                 if !self.acked[p as usize] && !self.retx_queue.contains(&p) && p < self.next_new {
-                    self.retx_queue.push(p);
+                    self.retx_queue.push_back(p);
                 }
             }
-            self.retx_queue.sort_unstable();
+            self.retx_queue.make_contiguous().sort_unstable();
         }
     }
 
@@ -195,13 +197,12 @@ impl IrnSender {
         let mut any = false;
         for p in self.cumulative..self.next_new {
             if !self.acked[p as usize] && !self.retx_queue.contains(&p) {
-                self.retx_queue.push(p);
+                self.retx_queue.push_back(p);
                 any = true;
             }
         }
         if any {
-            self.retx_queue.sort_unstable();
-            self.retx_queue.dedup();
+            self.retx_queue.make_contiguous().sort_unstable();
             self.in_flight = 0;
             self.timeouts += 1;
         }

@@ -60,6 +60,33 @@ fn every_committed_spec_round_trips() {
 }
 
 #[test]
+fn incast_spec_generates_the_burst_train() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs/incast_storm.toml");
+    let text = std::fs::read_to_string(path).expect("specs/incast_storm.toml exists");
+    let spec = ScenarioSpec::parse(&text).expect("incast_storm parses");
+    let ic = spec.incast.expect("incast_storm declares an [incast] section");
+    assert_eq!((ic.degree, ic.requests), (15, 8));
+    let scenario = spec.build().expect("incast_storm builds");
+    // 8 requests × 15 responders land on top of the background mix.
+    assert!(
+        scenario.flows.len() >= (ic.degree * ic.requests) as usize,
+        "expected at least {} flows, got {}",
+        ic.degree * ic.requests,
+        scenario.flows.len()
+    );
+    // Every request's responses converge on a single client host.
+    let per_responder = ic.total_response_bytes / ic.degree as u64;
+    let first_burst: Vec<_> = scenario
+        .flows
+        .iter()
+        .filter(|f| f.start.as_ps() == 0 && f.size_bytes == per_responder)
+        .collect();
+    assert_eq!(first_burst.len(), ic.degree as usize);
+    let client = first_burst[0].dst_host;
+    assert!(first_burst.iter().all(|f| f.dst_host == client));
+}
+
+#[test]
 fn faulted_specs_apply_their_timelines() {
     // The worked example from EXPERIMENTS.md: two staggered outages with
     // recovery — four fault events must actually fire.
