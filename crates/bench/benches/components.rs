@@ -452,6 +452,37 @@ fn bench_packet_plane(c: &mut Criterion) {
             black_box(sum)
         })
     });
+
+    // The per-hop transit pattern on a quiet port: one packet enqueued and
+    // immediately dequeued, with the egress byte counter fed from the hot
+    // column (`free_sized`). The pass-through bypass elides exactly this
+    // round trip; the pair quantifies what each bypassed hop saves.
+    c.bench_function("net/packet_plane/transit_alloc_free_1k", |b| {
+        b.iter(|| {
+            let mut arena: PacketArena<FatPacket> = PacketArena::with_capacity(4);
+            let mut bytes = 0u64;
+            let mut acc = 0u64;
+            for i in 0..N as u64 {
+                let p = pkt(i);
+                let h = arena.alloc(p.size_bytes, p.flow, false, p.enqueued_at_ps, p);
+                bytes += p.size_bytes as u64;
+                let (out, size) = arena.free_sized(h);
+                bytes -= size as u64;
+                acc = acc.wrapping_add(out.flow as u64);
+            }
+            black_box((acc, bytes))
+        })
+    });
+    c.bench_function("net/packet_plane/transit_bypass_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N as u64 {
+                let p = pkt(i);
+                acc = acc.wrapping_add(black_box(p).flow as u64);
+            }
+            black_box(acc)
+        })
+    });
 }
 
 fn bench_percentile(c: &mut Criterion) {

@@ -34,6 +34,10 @@ pub struct BenchCli {
     /// Omit wall-clock and cache fields from the JSON report so repeated
     /// runs are byte-identical (used by the determinism tests).
     pub stable_json: bool,
+    /// Simulation shard count per point (`--shards N`, default 1 =
+    /// sequential engine). N > 1 runs each point on the bounded-window
+    /// parallel driver; output stays byte-identical, only speed changes.
+    pub shards: u16,
 }
 
 impl Default for BenchCli {
@@ -49,6 +53,7 @@ impl Default for BenchCli {
             scenario: None,
             cdf: false,
             stable_json: false,
+            shards: 1,
         }
     }
 }
@@ -130,6 +135,16 @@ impl BenchCli {
                 }
                 "--cdf" => cli.cdf = true,
                 "--stable-json" => cli.stable_json = true,
+                "--shards" => {
+                    let v = value("--shards", &mut it)?;
+                    cli.shards = v
+                        .parse::<u16>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!("--shards expects a positive integer, got `{v}`")
+                        })?;
+                }
                 other => {
                     return Err(format!(
                         "unknown flag `{other}` — run `{bin} --help` for usage"
@@ -185,6 +200,10 @@ FLAGS:
     --cdf                Also dump FCT CDF series where available (fig6)
     --stable-json        Omit wall-clock/cache fields from the JSON report
                          so repeated runs are byte-identical
+    --shards N           Run each point on N simulation shards (bounded-
+                         window parallel driver; default 1 = sequential).
+                         Output is byte-identical for every N — only the
+                         perf telemetry and wall time change
     -h, --help           This text
 
 The result cache keys each point by a content hash of its full serialized
@@ -212,6 +231,7 @@ mod tests {
         assert_eq!(cli.cache_dir, runner::default_cache_dir());
         assert!(cli.figs.is_none() && !cli.cdf && !cli.stable_json);
         assert!(cli.scenario.is_none());
+        assert_eq!(cli.shards, 1);
     }
 
     #[test]
@@ -233,6 +253,8 @@ mod tests {
             "specs/outage.toml",
             "--cdf",
             "--stable-json",
+            "--shards",
+            "4",
         ])
         .expect("ok")
         .expect("not help");
@@ -252,6 +274,7 @@ mod tests {
             Some(std::path::Path::new("specs/outage.toml"))
         );
         assert!(cli.cdf && cli.stable_json);
+        assert_eq!(cli.shards, 4);
         // --no-cache wins over --cache-dir in the runner config.
         assert!(cli.runner_config(false).cache_dir.is_none());
     }
@@ -266,6 +289,7 @@ mod tests {
             .contains("--scenario"));
         assert!(parse(&["--bogus"]).expect_err("unknown").contains("--bogus"));
         assert!(parse(&["--figs", ","]).expect_err("empty").contains("--figs"));
+        assert!(parse(&["--shards", "0"]).expect_err("zero").contains("positive"));
     }
 
     #[test]
@@ -284,6 +308,7 @@ mod tests {
             "--figs",
             "--scenario",
             "--stable-json",
+            "--shards",
         ] {
             assert!(text.contains(flag), "help must document {flag}");
         }

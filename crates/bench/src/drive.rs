@@ -61,7 +61,7 @@ pub fn drive(
     let mut ranges = Vec::new();
     for fig in &figures {
         let start = jobs.len();
-        jobs.append(&mut fig.jobs(cli.scale, &offsets));
+        jobs.append(&mut fig.jobs(cli.scale, &offsets, cli.shards));
         ranges.push(start..jobs.len());
     }
     let summary = run_jobs(jobs, &cli.runner_config(true))?;
@@ -101,7 +101,11 @@ pub fn drive(
 /// cache identity is the canonical spec text (seed included), so editing
 /// any field of the file — or bumping the seed — re-keys the point while
 /// untouched specs stay warm in the cache.
-pub fn scenario_jobs(spec: &ScenarioSpec, offsets: &[u64]) -> Result<Vec<Job>, String> {
+pub fn scenario_jobs(
+    spec: &ScenarioSpec,
+    offsets: &[u64],
+    shards: u16,
+) -> Result<Vec<Job>, String> {
     // Surface semantic errors (bad topology ranges, unsorted timelines)
     // before any job runs.
     spec.build()
@@ -114,10 +118,10 @@ pub fn scenario_jobs(spec: &ScenarioSpec, offsets: &[u64]) -> Result<Vec<Job>, S
             fig: "scenario",
             label: s.label(),
             seed: s.seed,
-            spec: s.to_spec_text(),
+            spec: format!("shards={shards}|{}", s.to_spec_text()),
             run: Box::new(move || {
                 let sc = s.build().expect("spec validated before job expansion");
-                run_metrics(s.label(), sc, vec![("seed", Json::U64(s.seed))])
+                run_metrics(s.label(), sc, shards, vec![("seed", Json::U64(s.seed))])
             }),
         });
     }
@@ -132,7 +136,7 @@ pub fn drive_scenario(cli: &BenchCli, path: &Path) -> Result<(), String> {
         .map_err(|e| format!("cannot read scenario spec {}: {e}", path.display()))?;
     let spec =
         ScenarioSpec::parse(&text).map_err(|e| format!("in {}:\n{e}", path.display()))?;
-    let jobs = scenario_jobs(&spec, &cli.seed_offsets())?;
+    let jobs = scenario_jobs(&spec, &cli.seed_offsets(), cli.shards)?;
     let summary = run_jobs(jobs, &cli.runner_config(true))?;
 
     let mut t = rlb_metrics::Table::new(vec![
@@ -187,10 +191,13 @@ fn point_json(o: &JobOutcome, stable: bool) -> Json {
         ("fig", Json::Str(o.fig.to_string())),
         ("label", Json::Str(o.label.clone())),
         ("seed", Json::U64(o.seed)),
-        ("key", Json::Str(o.key_hex.clone())),
         ("metrics", metrics),
     ]);
     if !stable {
+        // The cache key hashes the full job spec, which includes the shard
+        // count — a cache-layout detail, not simulation output. Stable
+        // reports omit it so `--shards 1` and `--shards N` byte-compare.
+        p.set("key", Json::Str(o.key_hex.clone()));
         p.set("wall_ms", Json::F64(o.wall_ms));
         p.set("cached", Json::Bool(o.cached));
     }
@@ -213,6 +220,11 @@ fn perf_aggregate(summary: &RunSummary) -> Json {
     let mut dirty_sig: u64 = 0;
     let mut arena_high_water: u64 = 0;
     let mut arena_capacity: u64 = 0;
+    let mut shards_max: u64 = 0;
+    let mut window_advances: u64 = 0;
+    let mut cross_msgs: u64 = 0;
+    let mut barrier_stalls: u64 = 0;
+    let mut aggregate_rate_max: f64 = 0.0;
     let take = |p: &Json, k: &str| p.get(k).and_then(Json::as_u64).unwrap_or(0);
     for o in &summary.outcomes {
         if let Some(p) = o.metrics.get("perf") {
@@ -228,6 +240,17 @@ fn perf_aggregate(summary: &RunSummary) -> Json {
             // the worst job in the batch.
             arena_high_water = arena_high_water.max(take(p, "arena_high_water"));
             arena_capacity = arena_capacity.max(take(p, "arena_capacity"));
+            shards_max = shards_max.max(take(p, "shards"));
+            window_advances += take(p, "window_advances");
+            cross_msgs += take(p, "cross_shard_messages");
+            barrier_stalls += take(p, "barrier_stalls");
+            // A rate, not a count: report the best job in the batch (the
+            // perf-smoke CI gate reads this as the fleet's peak throughput).
+            aggregate_rate_max = aggregate_rate_max.max(
+                p.get("aggregate_events_per_sec")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+            );
         }
     }
     let rate = if sim_wall_ms > 0.0 {
@@ -247,6 +270,11 @@ fn perf_aggregate(summary: &RunSummary) -> Json {
         ("snapshot_dirty_sig_spines_total", Json::U64(dirty_sig)),
         ("arena_high_water_max", Json::U64(arena_high_water)),
         ("arena_capacity_max", Json::U64(arena_capacity)),
+        ("shards_max", Json::U64(shards_max)),
+        ("window_advances_total", Json::U64(window_advances)),
+        ("cross_shard_messages_total", Json::U64(cross_msgs)),
+        ("barrier_stalls_total", Json::U64(barrier_stalls)),
+        ("aggregate_events_per_sec_max", Json::F64(aggregate_rate_max)),
         ("jobs_executed", Json::U64(summary.executed as u64)),
         ("jobs_cached", Json::U64(summary.cache_hits as u64)),
     ])

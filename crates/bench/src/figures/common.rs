@@ -78,6 +78,15 @@ pub struct RunRow {
     /// allocated (backing-store footprint).
     pub arena_high_water: u64,
     pub arena_capacity: u64,
+    /// Sharded-driver telemetry (all zero except `shards`=1 when the run
+    /// was sequential): shard count, bounded-window rounds, cross-shard
+    /// wire messages, zero-dispatch (shard, round) pairs, and the sum of
+    /// per-shard dispatch throughputs over time spent dispatching.
+    pub shards: u64,
+    pub window_advances: u64,
+    pub cross_shard_messages: u64,
+    pub barrier_stalls: u64,
+    pub aggregate_events_per_sec: f64,
 }
 
 pub fn reduce(label: String, res: RunResult) -> RunRow {
@@ -119,6 +128,11 @@ pub fn reduce(label: String, res: RunResult) -> RunRow {
         snapshot_dirty_sig_spines: res.perf.snapshot_dirty_sig_spines,
         arena_high_water: res.perf.arena_high_water,
         arena_capacity: res.perf.arena_capacity,
+        shards: res.perf.shards,
+        window_advances: res.perf.window_advances,
+        cross_shard_messages: res.perf.cross_shard_messages,
+        barrier_stalls: res.perf.barrier_stalls,
+        aggregate_events_per_sec: res.perf.aggregate_events_per_sec,
     }
 }
 
@@ -187,8 +201,17 @@ fn counters_json(c: &FabricCounters) -> Json {
 /// counters, and the downsampled FCT CDF. Reduce steps read from this;
 /// the JSON report embeds it verbatim, so the perf trajectory keeps every
 /// signal even where a figure's table only shows two columns.
-pub fn run_metrics(label: String, sc: Scenario, extras: Vec<(&'static str, Json)>) -> Json {
-    let row = run_variant(label, sc);
+///
+/// `shards` selects the parallel bounded-window driver (`--shards`); every
+/// shard count produces byte-identical simulation output, so only the
+/// perf block (stripped under `--stable-json`) reflects the choice.
+pub fn run_metrics(
+    label: String,
+    sc: Scenario,
+    shards: u16,
+    extras: Vec<(&'static str, Json)>,
+) -> Json {
+    let row = reduce(label, sc.run_with_shards(shards));
     let mut m = Json::Obj(Vec::new());
     for (k, v) in extras {
         m.set(k, v);
@@ -241,6 +264,14 @@ pub fn run_metrics(label: String, sc: Scenario, extras: Vec<(&'static str, Json)
             ),
             ("arena_high_water", Json::U64(row.arena_high_water)),
             ("arena_capacity", Json::U64(row.arena_capacity)),
+            ("shards", Json::U64(row.shards)),
+            ("window_advances", Json::U64(row.window_advances)),
+            ("cross_shard_messages", Json::U64(row.cross_shard_messages)),
+            ("barrier_stalls", Json::U64(row.barrier_stalls)),
+            (
+                "aggregate_events_per_sec",
+                Json::F64(row.aggregate_events_per_sec),
+            ),
         ]),
     );
     m

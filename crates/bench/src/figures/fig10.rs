@@ -72,6 +72,7 @@ fn steady_job(
     rlb: RlbConfig,
     param: String,
     seed: u64,
+    shards: u16,
 ) -> Job {
     let sc = SteadyStateConfig {
         topo: pick(scale, TopoConfig::default(), TopoConfig::paper_scale()),
@@ -81,7 +82,7 @@ fn steady_job(
         seed,
     };
     let label = format!("{part} {} {param}", workload.name());
-    let spec = format!("part={part}|scheme=Drill|rlb={rlb:?}|{sc:?}");
+    let spec = format!("part={part}|scheme=Drill|rlb={rlb:?}|shards={shards}|{sc:?}");
     Job {
         fig: "fig10",
         label,
@@ -91,6 +92,7 @@ fn steady_job(
             run_metrics(
                 format!("DRILL+RLB {param}"),
                 Scenario::steady_state(&sc, Scheme::Drill, Some(rlb.clone())),
+                shards,
                 vec![
                     ("part", Json::Str(part.to_string())),
                     ("workload", Json::Str(workload.name().to_string())),
@@ -105,7 +107,7 @@ fn steady_job(
 /// motivation scenario (DRILL+RLB, background AFCT). The paper's
 /// steady-state framing leaves the predictor nearly idle at Quick scale
 /// (see EXPERIMENTS.md), so this is where the threshold's effect shows.
-fn motivation_job(scale: Scale, q: f64, seed: u64) -> Job {
+fn motivation_job(scale: Scale, q: f64, seed: u64, shards: u16) -> Job {
     let mc = MotivationConfig {
         n_paths: 40,
         n_background: pick(scale, 24, 100),
@@ -121,7 +123,8 @@ fn motivation_job(scale: Scale, q: f64, seed: u64) -> Job {
     };
     let param = format!("{:.0}%", q * 100.0);
     let label = format!("{PART_QTH_MOTIVATION} {param}");
-    let spec = format!("part={PART_QTH_MOTIVATION}|scheme=Drill|rlb={rlb:?}|{mc:?}");
+    let spec =
+        format!("part={PART_QTH_MOTIVATION}|scheme=Drill|rlb={rlb:?}|shards={shards}|{mc:?}");
     Job {
         fig: "fig10",
         label,
@@ -131,6 +134,7 @@ fn motivation_job(scale: Scale, q: f64, seed: u64) -> Job {
             run_metrics(
                 format!("DRILL+RLB qth {param}"),
                 Scenario::motivation(&mc, Scheme::Drill, Some(rlb.clone())),
+                shards,
                 vec![
                     ("part", Json::Str(PART_QTH_MOTIVATION.to_string())),
                     // The motivation background is Web Search traffic.
@@ -156,7 +160,7 @@ impl Figure for Fig10 {
         "RLB sensitivity: Qth fraction and sampling interval dt (normalized AFCT)"
     }
 
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job> {
         let inner = inner_seeds(seeds);
         let mut jobs = Vec::new();
         for workload in WORKLOADS {
@@ -173,6 +177,7 @@ impl Figure for Fig10 {
                         rlb,
                         format!("{:.0}%", q * 100.0),
                         seed,
+                        shards,
                     ));
                 }
             }
@@ -193,13 +198,14 @@ impl Figure for Fig10 {
                         rlb,
                         format!("{dt_us}us"),
                         seed,
+                        shards,
                     ));
                 }
             }
         }
         for &q in &QTH_FRACTIONS {
             for &seed in &inner {
-                jobs.push(motivation_job(scale, q, seed));
+                jobs.push(motivation_job(scale, q, seed, shards));
             }
         }
         jobs

@@ -52,7 +52,7 @@ impl Figure for Fig3 {
         "LB schemes with vs. without PFC (motivation dumbbell, background flows)"
     }
 
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job> {
         let mut jobs = Vec::new();
         for &scheme in &rlb_lb::Scheme::PAPER_SET {
             for pfc in [true, false] {
@@ -61,7 +61,7 @@ impl Figure for Fig3 {
                     mc.seed += offset;
                     let v = Variant::vanilla(scheme);
                     let label = format!("{} pfc={}", v.label(), if pfc { "on" } else { "off" });
-                    let spec = format!("scheme={scheme:?}|rlb=None|pfc={pfc}|{mc:?}");
+                    let spec = format!("scheme={scheme:?}|rlb=None|pfc={pfc}|shards={shards}|{mc:?}");
                     let seed = mc.seed;
                     jobs.push(Job {
                         fig: "fig3",
@@ -74,6 +74,7 @@ impl Figure for Fig3 {
                             run_metrics(
                                 Variant::vanilla(scheme).label(),
                                 sc,
+                                shards,
                                 vec![
                                     ("scheme", Json::Str(scheme.name().to_string())),
                                     ("pfc", Json::Bool(pfc)),

@@ -38,7 +38,7 @@ impl Figure for Fig4 {
         "OOO packets vs. PFC-affected paths (a) and continuous bursts (b)"
     }
 
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job> {
         let mut jobs = Vec::new();
         for (part, xs) in [(PART_PATHS, AFFECTED_PATHS), (PART_BURSTS, BURSTS)] {
             for &scheme in &Scheme::PAPER_SET {
@@ -60,7 +60,8 @@ impl Figure for Fig4 {
                             mc.bursts = x;
                         }
                         let label = format!("{part} {} x={x}", scheme.name());
-                        let spec = format!("part={part}|scheme={scheme:?}|rlb=None|{mc:?}");
+                        let spec =
+                            format!("part={part}|scheme={scheme:?}|rlb=None|shards={shards}|{mc:?}");
                         let seed = mc.seed;
                         jobs.push(Job {
                             fig: "fig4",
@@ -71,6 +72,7 @@ impl Figure for Fig4 {
                                 run_metrics(
                                     Variant::vanilla(scheme).label(),
                                     Scenario::motivation(&mc, scheme, None),
+                                    shards,
                                     vec![
                                         ("part", Json::Str(part.to_string())),
                                         ("scheme", Json::Str(scheme.name().to_string())),

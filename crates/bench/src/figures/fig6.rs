@@ -43,14 +43,15 @@ impl Figure for Fig6 {
         "FCT under the symmetric topology, Web Search @ 60% load (8 variants)"
     }
 
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job> {
         let mut jobs = Vec::new();
         for v in Variant::all_eight() {
             for &offset in seeds {
                 let mut sc = config(scale);
                 sc.seed += offset;
                 let label = v.label();
-                let spec = format!("scheme={:?}|rlb={:?}|{sc:?}", v.scheme, v.rlb);
+                let spec =
+                    format!("scheme={:?}|rlb={:?}|shards={shards}|{sc:?}", v.scheme, v.rlb);
                 let seed = sc.seed;
                 let v = v.clone();
                 jobs.push(Job {
@@ -62,6 +63,7 @@ impl Figure for Fig6 {
                         super::common::run_metrics(
                             v.label(),
                             Scenario::steady_state(&sc, v.scheme, v.rlb.clone()),
+                            shards,
                             Vec::new(),
                         )
                     }),

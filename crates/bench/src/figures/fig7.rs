@@ -44,7 +44,7 @@ impl Figure for Fig7 {
         "AFCT vs. load, asymmetric topology (20% links at 10G), 4 workloads"
     }
 
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job> {
         let base = pick(scale, TopoConfig::default(), TopoConfig::paper_scale());
         let topo = asymmetric_topo(&base, 0.2, 42);
         let mut jobs = Vec::new();
@@ -61,7 +61,10 @@ impl Figure for Fig7 {
                         };
                         let label =
                             format!("{} {} load={load:.1}", workload.name(), v.label());
-                        let spec = format!("scheme={:?}|rlb={:?}|{sc:?}", v.scheme, v.rlb);
+                        let spec = format!(
+                            "scheme={:?}|rlb={:?}|shards={shards}|{sc:?}",
+                            v.scheme, v.rlb
+                        );
                         let seed = sc.seed;
                         let v = v.clone();
                         jobs.push(Job {
@@ -73,6 +76,7 @@ impl Figure for Fig7 {
                                 run_metrics(
                                     v.label(),
                                     Scenario::steady_state(&sc, v.scheme, v.rlb.clone()),
+                                    shards,
                                     vec![
                                         ("workload", Json::Str(workload.name().to_string())),
                                         ("load", Json::F64(load)),

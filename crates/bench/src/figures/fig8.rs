@@ -54,7 +54,7 @@ impl Figure for Fig8 {
         "Incast OOO ratio and completion time vs. degree (a,c) and response size (b,d)"
     }
 
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job> {
         let mut jobs = Vec::new();
         for (part, xs) in [
             (PART_DEGREE, DEGREES.map(|d| d as u64)),
@@ -71,7 +71,10 @@ impl Figure for Fig8 {
                             ic.total_response_bytes = x * 1_000_000;
                         }
                         let label = format!("{part} {} x={x}", v.label());
-                        let spec = format!("part={part}|scheme={:?}|rlb={:?}|{ic:?}", v.scheme, v.rlb);
+                        let spec = format!(
+                            "part={part}|scheme={:?}|rlb={:?}|shards={shards}|{ic:?}",
+                            v.scheme, v.rlb
+                        );
                         let seed = ic.seed;
                         let v = v.clone();
                         jobs.push(Job {
@@ -83,6 +86,7 @@ impl Figure for Fig8 {
                                 run_metrics(
                                     v.label(),
                                     Scenario::incast(&ic, v.scheme, v.rlb.clone()),
+                                    shards,
                                     vec![
                                         ("part", Json::Str(part.to_string())),
                                         ("x", Json::U64(x)),

@@ -37,7 +37,7 @@ impl Figure for Fig9 {
         "Recirculation ablation: RLB vs. RLB w/o Recir., p99 FCT by load"
     }
 
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job> {
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job> {
         let mut jobs = Vec::new();
         for workload in WORKLOADS {
             for scheme in [Scheme::Presto, Scheme::Hermes] {
@@ -65,7 +65,7 @@ impl Figure for Fig9 {
                                 workload.name()
                             );
                             let spec =
-                                format!("scheme={scheme:?}|rlb={rlb:?}|{sc:?}");
+                                format!("scheme={scheme:?}|rlb={rlb:?}|shards={shards}|{sc:?}");
                             let seed = sc.seed;
                             jobs.push(Job {
                                 fig: "fig9",
@@ -76,6 +76,7 @@ impl Figure for Fig9 {
                                     run_metrics(
                                         variant_label.clone(),
                                         Scenario::steady_state(&sc, scheme, Some(rlb.clone())),
+                                        shards,
                                         vec![
                                             (
                                                 "workload",

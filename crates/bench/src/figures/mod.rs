@@ -45,8 +45,11 @@ pub trait Figure: Sync {
 
     /// Expand into runnable jobs. `seeds` are *offsets* (0, 1, ..): each
     /// point replicates once per offset, with the figure's base seed
-    /// shifted by it; `reduce` averages replicates per point.
-    fn jobs(&self, scale: Scale, seeds: &[u64]) -> Vec<Job>;
+    /// shifted by it; `reduce` averages replicates per point. `shards` is
+    /// the parallel-driver shard count (1 = sequential engine) — it is
+    /// part of each job's cache-key spec because it changes the perf
+    /// telemetry, even though the simulation output is byte-identical.
+    fn jobs(&self, scale: Scale, seeds: &[u64], shards: u16) -> Vec<Job>;
 
     /// Fold this figure's outcomes (all seeds) back into rows/tables.
     fn reduce(&self, outcomes: &[JobOutcome]) -> FigureReport;
@@ -95,9 +98,9 @@ mod tests {
     #[test]
     fn every_figure_expands_jobs_with_correct_fig_tag_and_seeds() {
         for fig in registry() {
-            let jobs = fig.jobs(Scale::Quick, &[0, 1]);
+            let jobs = fig.jobs(Scale::Quick, &[0, 1], 1);
             assert!(!jobs.is_empty(), "{} has no jobs", fig.name());
-            let single = fig.jobs(Scale::Quick, &[0]);
+            let single = fig.jobs(Scale::Quick, &[0], 1);
             assert_eq!(jobs.len(), 2 * single.len(), "{}: seeds scale jobs", fig.name());
             for j in &jobs {
                 assert_eq!(j.fig, fig.name());
@@ -112,6 +115,20 @@ mod tests {
             ids.sort();
             ids.dedup();
             assert_eq!(ids.len(), before, "{}: duplicate (label, seed)", fig.name());
+        }
+    }
+
+    #[test]
+    fn shard_count_changes_every_cache_key() {
+        // `--shards` changes the perf telemetry, so cached metrics from a
+        // different shard count must never be served.
+        for fig in registry() {
+            let seq: Vec<u64> = fig.jobs(Scale::Quick, &[0], 1).iter().map(Job::key).collect();
+            let par: Vec<u64> = fig.jobs(Scale::Quick, &[0], 4).iter().map(Job::key).collect();
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_ne!(a, b, "{}: shard count missing from a job spec", fig.name());
+            }
         }
     }
 }

@@ -44,7 +44,10 @@ use std::time::Instant;
 /// v5: the perf block gained the dirty-spine refresh split
 /// (snapshot_dirty_queue_spines, snapshot_dirty_sig_spines) and the
 /// packet-arena occupancy stats (arena_high_water, arena_capacity).
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+/// v6: the perf block gained the sharded-driver counters (shards,
+/// window_advances, cross_shard_messages, barrier_stalls,
+/// aggregate_events_per_sec) and every job spec gained the shards field.
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 /// FNV-1a 64-bit — small, dependency-free, stable across platforms.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {

@@ -20,7 +20,7 @@ use std::path::PathBuf;
 fn cache_keys_are_stable_and_config_sensitive() {
     let fig = by_name("fig3").expect("fig3 registered");
     let keys = |scale, offsets: &[u64]| -> Vec<u64> {
-        fig.jobs(scale, offsets).iter().map(|j| j.key()).collect()
+        fig.jobs(scale, offsets, 1).iter().map(|j| j.key()).collect()
     };
     // Same config → same hash, independent of when the jobs were expanded.
     assert_eq!(keys(Scale::Quick, &[0]), keys(Scale::Quick, &[0]));
@@ -42,7 +42,7 @@ fn cache_keys_are_stable_and_config_sensitive() {
 
 fn run_fig3(cache_dir: PathBuf, cli: &BenchCli) -> (String, RunSummary) {
     let fig = by_name("fig3").expect("fig3 registered");
-    let jobs = fig.jobs(Scale::Quick, &[0]);
+    let jobs = fig.jobs(Scale::Quick, &[0], cli.shards);
     let summary = run_jobs(
         jobs,
         &RunnerConfig {

@@ -58,11 +58,11 @@ pub struct RlbConfig {
 
 impl Default for RlbConfig {
     fn default() -> Self {
-        let link_delay_ps = 2_000_000; // 2 µs, the paper's link delay
+        let link_delay = rlb_engine::SimDuration::from_ps(2_000_000); // 2 µs, the paper's link delay
         RlbConfig {
-            dt_ps: link_delay_ps,
+            dt_ps: link_delay.as_ps(),
             qth_fraction: 0.25,
-            horizon_ps: 2 * link_delay_ps,
+            horizon_ps: link_delay.mul_u64(2).as_ps(),
             t_rc_ps: 1_000_000, // 1 µs loop through the switch pipeline
             max_recirculations: 8,
             enable_recirculation: true,
@@ -72,7 +72,7 @@ impl Default for RlbConfig {
             // consecutive packets of one flow alternate between rerouting
             // and the original path — reordering by itself. 10 sampling
             // intervals ≈ 20 µs, still well below typical pause durations.
-            warn_lifetime_ps: 10 * link_delay_ps,
+            warn_lifetime_ps: link_delay.mul_u64(10).as_ps(),
             suboptimal_policy: SuboptimalPolicy::QueueFirst,
             sticky_reroutes: true,
         }

@@ -219,8 +219,9 @@ impl Rlb<dyn LoadBalancer> {
             DecisionReason::Rerouted => {
                 self.stats.reroutes += 1;
                 if let Decision::Forward(ps) = decision {
-                    self.overrides
-                        .insert(ctx.flow_id, (ps, ctx.now_ps + self.cfg.warn_lifetime_ps));
+                    let until = rlb_engine::SimTime(ctx.now_ps)
+                        + rlb_engine::SimDuration::from_ps(self.cfg.warn_lifetime_ps);
+                    self.overrides.insert(ctx.flow_id, (ps, until.as_ps()));
                 }
             }
             DecisionReason::RecirculatedGap | DecisionReason::RecirculatedAllWarned => {

@@ -206,12 +206,21 @@ impl<T> PacketArena<T> {
     /// it) is dead from here on.
     #[inline]
     pub fn free(&mut self, h: PacketHandle) -> T {
+        self.free_sized(h).0
+    }
+
+    /// [`free`](Self::free) fused with the hot-column wire size, under one
+    /// generation check. The transmit path's egress byte accounting reads
+    /// the SoA `sizes` column here instead of dereferencing the cold
+    /// payload it is about to hand off.
+    #[inline]
+    pub fn free_sized(&mut self, h: PacketHandle) -> (T, u32) {
         let i = self.check(h);
         let v = self.slots[i].take().expect("generation-checked slot is live");
         self.gens[i] = self.gens[i].wrapping_add(1) & GEN_MASK;
         self.free.push(i as u32);
         self.len -= 1;
-        v
+        (v, self.sizes[i])
     }
 
     /// Cold payload access.
@@ -302,7 +311,7 @@ mod tests {
         // *other* slots: the slab never moves a live entry.
         let mut a: PacketArena<u64> = PacketArena::new();
         let keep: Vec<PacketHandle> =
-            (0..16).map(|i| a.alloc(i, i as u32, false, 0, 1_000 + i as u64)).collect();
+            (0..16).map(|i| a.alloc(i, i, false, 0, 1_000 + i as u64)).collect();
         let mut churn: Vec<PacketHandle> = Vec::new();
         for round in 0..1_000u64 {
             if round % 3 == 2 {
@@ -320,6 +329,17 @@ mod tests {
         let expect_live = 16 + churn.len();
         assert_eq!(a.len(), expect_live);
         assert!(a.high_water() >= expect_live);
+    }
+
+    #[test]
+    fn free_sized_returns_the_hot_column_size_and_retires_the_slot() {
+        let mut a: PacketArena<u64> = PacketArena::new();
+        let h = a.alloc(4_096, 3, false, 7, 0xBEEF);
+        let (v, size) = a.free_sized(h);
+        assert_eq!(v, 0xBEEF);
+        assert_eq!(size, 4_096);
+        assert!(a.is_empty());
+        assert!(!a.contains(h));
     }
 
     #[test]

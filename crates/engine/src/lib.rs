@@ -32,8 +32,8 @@ pub mod time;
 mod wheel;
 
 pub use arena::{PacketArena, PacketHandle};
-pub use queue::{EventQueue, HeapEventQueue};
-pub use rng::{substream, SimRng};
+pub use queue::{shard_key, EventQueue, HeapEventQueue, ShardEventQueue};
+pub use rng::{shard_substream, substream, SimRng};
 pub use table::FlowTable;
 pub use time::{bytes_in, tx_delay, SimDuration, SimTime};
 
@@ -246,6 +246,78 @@ mod proptests {
             }
             prop_assert!(model.is_empty());
             prop_assert!(arena.is_empty());
+        }
+
+        /// Differential: a single-shard `ShardEventQueue` driven through the
+        /// same schedule/pop interleaving as the sequential `EventQueue`
+        /// pops the identical sequence — the packed `(sched_ps, shard, seq)`
+        /// key collapses to plain insertion order when one shard produces
+        /// every event, which is what makes `--shards 1` byte-identical to
+        /// the sequential engine.
+        #[test]
+        fn shard_queue_matches_sequential_reference(
+            ops in proptest::collection::vec(
+                (0u8..3, 0u64..200_000_000_000, 1u16..200), 1..120)
+        ) {
+            let mut seqq = EventQueue::new();
+            let mut shq = ShardEventQueue::new(3);
+            let mut payload = 0u64;
+            for (kind, delta, reps) in ops {
+                match kind {
+                    0 => {
+                        let at = SimTime(seqq.now().as_ps() + delta);
+                        for _ in 0..reps {
+                            seqq.schedule(at, payload);
+                            shq.schedule(at, payload);
+                            payload += 1;
+                        }
+                    }
+                    1 => {
+                        for r in 0..reps as u64 {
+                            let at = SimTime(seqq.now().as_ps() + delta + r * 777);
+                            seqq.schedule(at, payload);
+                            shq.schedule(at, payload);
+                            payload += 1;
+                        }
+                    }
+                    _ => {
+                        for _ in 0..reps {
+                            let a = seqq.pop();
+                            let b = shq.pop().map(|(t, _k, e)| (t, e));
+                            prop_assert_eq!(a, b);
+                            if a.is_none() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(seqq.len(), shq.len());
+                prop_assert_eq!(seqq.peek_time(), shq.peek_time());
+            }
+            loop {
+                let a = seqq.pop();
+                let b = shq.pop().map(|(t, _k, e)| (t, e));
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert_eq!(seqq.now(), shq.now());
+        }
+
+        /// Cross-shard merge keys order by (time at schedule, shard, seq)
+        /// and never collide across shards.
+        #[test]
+        fn shard_keys_are_canonical(
+            a_ps in 0u64..u64::MAX / 2, b_ps in 0u64..u64::MAX / 2,
+            a_sh in 0u16..1024, b_sh in 0u16..1024,
+            a_seq in 0u64..(1 << 48), b_seq in 0u64..(1 << 48),
+        ) {
+            let (ka, kb) = (shard_key(a_ps, a_sh, a_seq), shard_key(b_ps, b_sh, b_seq));
+            prop_assert_eq!(
+                ka.cmp(&kb),
+                (a_ps, a_sh, a_seq).cmp(&(b_ps, b_sh, b_seq))
+            );
         }
 
         /// tx_delay is monotone in bytes and additive across packet splits.

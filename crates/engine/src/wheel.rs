@@ -57,32 +57,40 @@ const LEVELS: usize = 7;
 /// far-future heap.
 const SPAN_TICKS: u64 = 1 << 36;
 
-/// One pending event. `seq` is the queue-wide insertion counter that
-/// breaks equal-time ties FIFO.
-pub(crate) struct Entry<E> {
+/// Tie-break key for events sharing a timestamp. The sequential queue uses
+/// the plain insertion counter (`u64`, FIFO); the sharded queue packs
+/// `(sched_ps, src_shard, seq)` into a `u128` so independently produced
+/// streams merge in one canonical order (see `crate::queue::ShardEventQueue`).
+pub trait TieKey: Copy + Ord + std::fmt::Debug {}
+impl TieKey for u64 {}
+impl TieKey for u128 {}
+
+/// One pending event. `key` is the within-timestamp tie-breaker: a total
+/// order, so equal-time events drain in a unique, replayable sequence.
+pub(crate) struct Entry<E, K: TieKey = u64> {
     pub time: SimTime,
-    pub seq: u64,
+    pub key: K,
     pub event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E, K: TieKey> PartialEq for Entry<E, K> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl<E, K: TieKey> Eq for Entry<E, K> {}
+impl<E, K: TieKey> PartialOrd for Entry<E, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl<E, K: TieKey> Ord for Entry<E, K> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) wins.
+        // BinaryHeap is a max-heap; invert so the earliest (time, key) wins.
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
@@ -94,10 +102,10 @@ fn tick_of(t: SimTime) -> u64 {
 /// The hierarchical wheel proper. Pure storage: the owning
 /// [`crate::queue::EventQueue`] supplies `seq` numbers, enforces the
 /// no-past-scheduling contract and owns the public clock.
-pub(crate) struct TimingWheel<E> {
+pub(crate) struct TimingWheel<E, K: TieKey = u64> {
     /// `LEVELS × SLOTS` buckets, flattened; append-only between drains, so
-    /// every bucket is seq-ascending.
-    slots: Vec<Vec<Entry<E>>>,
+    /// every bucket is key-ascending.
+    slots: Vec<Vec<Entry<E, K>>>,
     /// One occupancy bit per slot, per level — `SLOTS == 64` makes a `u64`
     /// bitmap exact, and `trailing_zeros` finds the next bucket in O(1).
     occupied: [u64; LEVELS],
@@ -110,16 +118,16 @@ pub(crate) struct TimingWheel<E> {
     /// yields ascending order; same-tick late arrivals merge in at their
     /// `(time, seq)` slot. Installed by `mem::swap` with the tick's bucket,
     /// so tick turnover copies nothing and recycles both allocations.
-    batch: Vec<Entry<E>>,
-    /// Far-future spillover, min-ordered by `(time, seq)`.
-    overflow: BinaryHeap<Entry<E>>,
+    batch: Vec<Entry<E, K>>,
+    /// Far-future spillover, min-ordered by `(time, key)`.
+    overflow: BinaryHeap<Entry<E, K>>,
     /// Recycled bucket storage for cascades, so redistributing a slot
     /// allocates nothing in steady state.
-    cascade_scratch: Vec<Entry<E>>,
+    cascade_scratch: Vec<Entry<E, K>>,
     len: usize,
 }
 
-impl<E> TimingWheel<E> {
+impl<E, K: TieKey> TimingWheel<E, K> {
     pub fn new() -> Self {
         TimingWheel {
             slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
@@ -158,21 +166,22 @@ impl<E> TimingWheel<E> {
         ((tick >> (level as u32 * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize
     }
 
-    /// Insert an event. The caller guarantees `time`/`seq` are not in the
-    /// past and that `seq` exceeds every previously inserted one.
-    pub fn insert(&mut self, time: SimTime, seq: u64, event: E) {
+    /// Insert an event. The caller guarantees `time` is not in the past
+    /// and that `(time, key)` exceeds every previously popped pair.
+    pub fn insert(&mut self, time: SimTime, key: K, event: E) {
         let tick = tick_of(time);
         debug_assert!(tick >= self.cursor, "wheel insert behind cursor");
         self.len += 1;
-        let entry = Entry { time, seq, event };
+        let entry = Entry { time, key, event };
         // Scheduling into the tick currently being drained: merge into the
-        // descending-sorted batch at the (time, seq) position. New seqs are
-        // maximal, so the insert lands *before* every equal-time entry in
-        // the vec and therefore pops after them (FIFO).
+        // descending-sorted batch at the (time, key) position. Sequential
+        // keys are maximal (fresh seqs), so the insert lands *before* every
+        // equal-time entry in the vec and therefore pops after them (FIFO);
+        // sharded message keys may land anywhere still ahead of the cursor.
         if tick == self.cursor && !self.batch.is_empty() {
             let at = self
                 .batch
-                .partition_point(|e| (e.time, e.seq) > (entry.time, entry.seq));
+                .partition_point(|e| (e.time, e.key) > (entry.time, entry.key));
             self.batch.insert(at, entry);
             return;
         }
@@ -213,8 +222,8 @@ impl<E> TimingWheel<E> {
         high | ((slot as u64) << group)
     }
 
-    /// Pop the earliest `(time, seq)` entry.
-    pub fn pop(&mut self) -> Option<Entry<E>> {
+    /// Pop the earliest `(time, key)` entry.
+    pub fn pop(&mut self) -> Option<Entry<E, K>> {
         loop {
             if let Some(entry) = self.batch.pop() {
                 self.len -= 1;
@@ -306,7 +315,7 @@ impl<E> TimingWheel<E> {
         let bucket = &mut slots[slot];
         if bucket.len() > 1 {
             bucket.sort_unstable_by(|a, b| {
-                b.time.cmp(&a.time).then_with(|| b.seq.cmp(&a.seq))
+                b.time.cmp(&a.time).then_with(|| b.key.cmp(&a.key))
             });
         }
         std::mem::swap(batch, bucket);
@@ -315,24 +324,24 @@ impl<E> TimingWheel<E> {
     /// Timestamp of the earliest pending entry without disturbing the
     /// structure. O(bucket) for the imminent bucket, O(1) otherwise.
     pub fn peek_time(&self) -> Option<SimTime> {
-        let mut best: Option<(SimTime, u64)> = None;
-        let mut consider = |time: SimTime, seq: u64| {
-            if best.is_none_or(|(bt, bs)| (time, seq) < (bt, bs)) {
-                best = Some((time, seq));
+        let mut best: Option<(SimTime, K)> = None;
+        let mut consider = |time: SimTime, key: K| {
+            if best.is_none_or(|(bt, bs)| (time, key) < (bt, bs)) {
+                best = Some((time, key));
             }
         };
         if let Some(e) = self.batch.last() {
             // The batch is sorted descending; its back is its minimum.
-            consider(e.time, e.seq);
+            consider(e.time, e.key);
         } else if let Some((level, slot)) = self.next_occupied() {
             // The earliest wheel event lives in this bucket (buckets
-            // partition time); scan it for the (time, seq) minimum.
+            // partition time); scan it for the (time, key) minimum.
             for e in &self.slots[level * SLOTS + slot] {
-                consider(e.time, e.seq);
+                consider(e.time, e.key);
             }
         }
         if let Some(e) = self.overflow.peek() {
-            consider(e.time, e.seq);
+            consider(e.time, e.key);
         }
         best.map(|(t, _)| t)
     }

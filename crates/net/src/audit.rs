@@ -182,6 +182,33 @@ impl FabricAuditor {
         );
     }
 
+    /// Shard-local slice of [`check`](Self::check): buffer-occupancy (and,
+    /// at drain, PFC pairing) invariants for the switches this shard owns,
+    /// returning the number of data packets buffered in them. A single
+    /// shard sees only its side of each flow, so the conservation balance
+    /// cannot be asserted here — the sharded driver sums the partials and
+    /// asserts it globally every window.
+    pub fn check_partial<'a>(
+        &mut self,
+        at_ps: u64,
+        switches: impl Iterator<Item = (SwitchId, &'a Switch)>,
+        arena: &PacketArena<Packet>,
+        drain: bool,
+    ) -> u64 {
+        self.checks_run += 1;
+        let mut in_switch_buffers = 0u64;
+        for (id, sw) in switches {
+            self.check_buffers(id, sw, arena, at_ps);
+            if drain {
+                self.check_pfc_drained(id, sw, at_ps);
+            }
+            for ep in &sw.egress {
+                in_switch_buffers += ep.data_q.len() as u64;
+            }
+        }
+        in_switch_buffers
+    }
+
     fn check_buffers(&self, id: SwitchId, sw: &Switch, arena: &PacketArena<Packet>, at_ps: u64) {
         let cap = sw.config().buffer_bytes;
         assert!(

@@ -79,8 +79,10 @@ impl TopoConfig {
     /// Uncongested one-way host→host latency across the core, in ps:
     /// 4 links of propagation plus serialization of one MTU at each hop.
     pub fn base_one_way_ps(&self, mtu_wire_bytes: u64) -> u64 {
-        let ser = rlb_engine::tx_delay(mtu_wire_bytes, self.link_rate_bps).as_ps();
-        4 * (self.link_delay_ps + ser)
+        let ser = rlb_engine::tx_delay(mtu_wire_bytes, self.link_rate_bps);
+        (rlb_engine::SimDuration::from_ps(self.link_delay_ps) + ser)
+            .mul_u64(4)
+            .as_ps()
     }
 
     pub fn validate(&self) -> Result<(), String> {

@@ -42,6 +42,7 @@ pub mod host;
 pub mod monitor;
 pub mod packet;
 pub mod scenario;
+mod shard;
 pub mod sim;
 pub mod spec;
 pub mod switch;
@@ -149,7 +150,15 @@ mod smoke {
                 ..TopoConfig::default()
             },
             scheme: Scheme::Drill,
-            rlb: Some(rlb_core::RlbConfig::default()),
+            // Under this core-side incast the warnings are fabric-wide —
+            // almost every decision sees *all* paths warned, so the default
+            // all-warned policy (forward anyway) leaves reroute counts at
+            // the mercy of tie-order. Allow the one all-warned
+            // recirculation so a warned decision observably reacts.
+            rlb: Some(rlb_core::RlbConfig {
+                recirculate_when_all_warned: true,
+                ..rlb_core::RlbConfig::default()
+            }),
             hard_stop: SimTime::from_ms(100),
             ..SimConfig::default()
         };

@@ -129,6 +129,14 @@ impl Scenario {
     pub fn run(self) -> crate::sim::RunResult {
         crate::sim::Simulation::new(self.cfg, self.flows).run()
     }
+
+    /// Run on `shards` parallel shards (bounded-window protocol; see
+    /// `crate::shard`). Byte-identical to [`run`](Self::run) for every
+    /// shard count — `shards <= 1`, monitoring, or packet tracing fall
+    /// back to the sequential engine.
+    pub fn run_with_shards(self, shards: u16) -> crate::sim::RunResult {
+        crate::shard::run_sharded(self.cfg, self.flows, shards)
+    }
 }
 
 /// Group tag labelling the measured background flows f1..fn in the

@@ -17,7 +17,10 @@ use crate::switch::{LbInstance, LeafState, PfcAction, Switch};
 use crate::topology::{Node, Topology};
 use crate::trace::{FlowTraces, TraceEvent};
 use rlb_core::{conservative_qth, Decision, PfcPredictor, Prediction, Rlb};
-use rlb_engine::{substream, tx_delay, EventQueue, PacketArena, PacketHandle, SimDuration, SimTime};
+use rlb_engine::{
+    shard_key, substream, tx_delay, PacketArena, PacketHandle, ShardEventQueue, SimDuration,
+    SimTime,
+};
 use rlb_lb::{Ctx, PathInfo};
 use rlb_metrics::{FabricCounters, FctSummary, FlowRecord, LogHistogram};
 use rlb_workloads::FlowSpec;
@@ -28,7 +31,7 @@ use rlb_workloads::FlowSpec;
 /// packets move by value through the fabric (`cargo xtask lint`'s
 /// hot-clone rule guards the dispatch arms).
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     FlowStart(u32),
     /// NIC pacing wake-up.
     HostWake(u32),
@@ -66,6 +69,70 @@ enum Event {
     Fault(u32),
 }
 
+/// Canonical entity ranks for the `(sched_ps, entity, count)` tie key.
+///
+/// Every event carries a `u128` key packing the simulated time the schedule
+/// was *issued*, the rank of the scheduling entity, and that entity's own
+/// running schedule counter (`shard_key`). Ranks are a fixed property of
+/// the **topology**, never of the shard layout — hosts, leaves and spines
+/// get consecutive ranks after the two reserved ones below — so the key a
+/// given causal event chain produces is byte-identical whether the fabric
+/// runs on one shard or many. (Keying by *shard id* instead would reorder
+/// same-picosecond ties from different leaves whenever the leaf→shard map
+/// changes, e.g. synchronized incast responders arriving at one spine.)
+///
+/// `RANK_CONSTRUCT` keys construction-time schedules (flow starts, the
+/// fault timeline, the initial DCQCN ticks) under a single global index,
+/// and sorts before every runtime rank so time-zero construction events
+/// dispatch in insertion order, exactly like the sequential engine always
+/// did. `RANK_GLOBAL` keys fabric-wide clocks (DCQCN tick re-arms, monitor
+/// ticks) that are replicated on every shard and therefore advance each
+/// replica's counter identically.
+pub(crate) const RANK_CONSTRUCT: u16 = 0;
+pub(crate) const RANK_GLOBAL: u16 = 1;
+
+/// A timestamped cross-shard event: produced by [`Simulation::sched_wire`]
+/// when the receiving entity lives on another shard, carried through the
+/// bounded-window driver's mailboxes, and applied at the receiver via
+/// `ShardEventQueue::insert_message`. The key is computed by the *sender*
+/// with exactly the derivation a local schedule uses, so merge order at
+/// the receiver is independent of delivery route and arrival order.
+pub(crate) struct WireMsg {
+    pub at: SimTime,
+    pub key: u128,
+    pub ev: Event,
+}
+
+/// An output-visible side effect of one dispatched event.
+///
+/// Sequential runs apply these immediately. Sharded runs journal them under
+/// the dispatching event's canonical key, because the *final* window of a
+/// run over-dispatches: shards keep executing until the barrier learns that
+/// some shard completed the last flow, so effects keyed after the global
+/// completion point `k_c` must be dropped to match the sequential engine's
+/// mid-queue `break`. Which window is final is only known at its barrier,
+/// so every window journals and folds (`Simulation::fold_journal`).
+///
+/// Physical fabric state (queues, PFC flags, reliability windows) is *not*
+/// journaled — overshoot there is invisible because nothing after the fold
+/// reads it into the result. Receiver-side OOO accounting needs no journal
+/// either: past `k_c` every flow is complete, so late data arrivals are
+/// duplicates below the cumulative ACK and bump no histogram.
+#[derive(Debug, Clone, Copy)]
+enum JEffect {
+    Pause { id: (bool, u32), port: u16 },
+    Resume,
+    CnmGen(u64),
+    CnmRelay,
+    Recirc { flow: u32 },
+    SwitchPkt,
+    BufferDrop,
+    EcnMark,
+    PausedDwell(SimDuration),
+    RlbStats { re: u64, fw: u64, fo: u64 },
+    Fault,
+}
+
 /// Wall-clock performance telemetry for one run.
 ///
 /// Measurement only: nothing in the simulation reads these values, so
@@ -97,6 +164,22 @@ pub struct PerfStats {
     pub arena_high_water: u64,
     /// Arena slots ever allocated (its backing-store footprint).
     pub arena_capacity: u64,
+    /// Shards the run was partitioned into (1 = sequential engine).
+    pub shards: u64,
+    /// Bounded-window rounds the sharded driver advanced (0 = sequential).
+    pub window_advances: u64,
+    /// Cross-shard wire messages exchanged over the run.
+    pub cross_shard_messages: u64,
+    /// (shard, window) pairs that dispatched zero events — windows where a
+    /// shard only waited at the barrier. Deterministic: a function of the
+    /// event timeline, not of thread scheduling.
+    pub barrier_stalls: u64,
+    /// Sum over shards of per-shard dispatch throughput (events per second
+    /// of that shard's own busy time). On a single-core host this is the
+    /// honest aggregate-capacity figure: `events_per_sec` measures the
+    /// time-sliced wall clock, this measures what the shards would sustain
+    /// running truly in parallel.
+    pub aggregate_events_per_sec: f64,
 }
 
 /// Outcome of one run.
@@ -173,7 +256,7 @@ impl RunResult {
 pub struct Simulation {
     cfg: SimConfig,
     topo: Topology,
-    q: EventQueue<Event>,
+    q: ShardEventQueue<Event>,
     leaves: Vec<Switch>,
     spines: Vec<Switch>,
     hosts: Vec<Host>,
@@ -211,10 +294,21 @@ pub struct Simulation {
     warn_scratch: Vec<u16>,
     /// Scratch: hosts to kick after a rate-increase tick (dedup per host).
     host_kick_scratch: Vec<bool>,
-    /// A global `AlphaTick` is currently scheduled.
-    alpha_tick_armed: bool,
-    /// A global `IncreaseTick` is currently scheduled.
-    increase_tick_armed: bool,
+    /// This replica's shard id / total shard count (0 of 1 = sequential).
+    shard_id: u16,
+    n_shards: u16,
+    /// Per-entity schedule counters backing the canonical tie key
+    /// (indexed by rank; see `RANK_CONSTRUCT`).
+    ent_cnt: Vec<u64>,
+    /// Canonical key of the event currently being dispatched.
+    cur_key: u128,
+    /// `(time, key)` of the latest flow completion seen on this shard.
+    last_completion: Option<(u64, u128)>,
+    /// Journaled output effects (sharded mode; folded at each barrier).
+    journal: Vec<(u64, u128, JEffect)>,
+    /// Cross-shard messages produced by the current window, per destination
+    /// shard (drained by the driver at the window barrier).
+    outbox: Vec<Vec<WireMsg>>,
     /// CNM relay TTL.
     cnm_ttl: u8,
     /// Live host NIC rate scale in parts-per-thousand of the configured
@@ -294,7 +388,28 @@ fn decode_node(v: u32) -> Node {
 
 impl Simulation {
     pub fn new(cfg: SimConfig, specs: Vec<FlowSpec>) -> Simulation {
+        Simulation::new_shard(cfg, specs, 0, 1)
+    }
+
+    /// Build shard `shard_id` of an `n_shards`-way partitioned run.
+    ///
+    /// Every shard constructs the **entire** fabric identically — same
+    /// switches, hosts, flow table and RNG substreams — and differs only in
+    /// which construction events enter its queue: flow starts are scheduled
+    /// on the shard owning the source host; the fault timeline and the
+    /// global DCQCN ticks are replicated everywhere (faults mutate link
+    /// state every shard may read, ticks drive per-shard flow clocks).
+    /// Replication is what keeps per-entity RNG streams and tie keys
+    /// automatically identical across shard counts: no state is derived
+    /// from the shard layout.
+    pub(crate) fn new_shard(
+        cfg: SimConfig,
+        specs: Vec<FlowSpec>,
+        shard_id: u16,
+        n_shards: u16,
+    ) -> Simulation {
         cfg.validate().expect("invalid SimConfig");
+        assert!(shard_id < n_shards.max(1), "shard id out of range");
         let topo = Topology::new(cfg.topo.clone());
         let n_leaves = cfg.topo.n_leaves;
         let n_spines = cfg.topo.n_spines;
@@ -385,7 +500,13 @@ impl Simulation {
             .ceil()
             .max(4.0) as u32;
 
-        let mut q = EventQueue::new();
+        // Entity ranks: 2 reserved + one per host, leaf and spine. The tie
+        // key gives ranks 16 bits (`shard_key`), which bounds the fabric at
+        // ~65k entities — far above the paper-scale 12×12×288 topology.
+        let n_ranks = 2usize + n_hosts as usize + n_leaves as usize + n_spines as usize;
+        assert!(n_ranks <= u16::MAX as usize, "topology exceeds rank space");
+
+        let mut q = ShardEventQueue::new(shard_id);
         let mut flows = Vec::with_capacity(specs.len());
         for (i, spec) in specs.into_iter().enumerate() {
             assert!(spec.src_host < n_hosts && spec.dst_host < n_hosts);
@@ -402,14 +523,52 @@ impl Simulation {
                 irn_window,
             );
             hosts[spec.src_host as usize].tx_flows.push(i as u32);
-            q.schedule(spec.start, Event::FlowStart(i as u32));
+            // Construction events carry `(0, RANK_CONSTRUCT, global index)`
+            // keys: every shard derives the same key for the same entry, so
+            // ownership gaps in the index sequence are harmless.
+            if Self::shard_for(&topo, n_leaves, n_shards, Node::Host(spec.src_host)) == shard_id {
+                q.insert_message(
+                    spec.start,
+                    shard_key(0, RANK_CONSTRUCT, i as u64),
+                    Event::FlowStart(i as u32),
+                );
+            }
             flows.push(fs);
         }
+        let n_flows = flows.len() as u64;
 
         // The fault timeline rides the same wheel as everything else: one
-        // event per entry, fired in deterministic (time, seq) order.
+        // event per entry, fired in deterministic (time, key) order, and
+        // replicated on every shard (faults mutate fabric state that any
+        // shard may read — link rates, the NIC load scale).
         for (i, tf) in cfg.faults.iter().enumerate() {
-            q.schedule(tf.at, Event::Fault(i as u32));
+            q.insert_message(
+                tf.at,
+                shard_key(0, RANK_CONSTRUCT, n_flows + i as u64),
+                Event::Fault(i as u32),
+            );
+        }
+
+        // DCQCN's global alpha/rate-increase clocks are armed once here,
+        // phase-locked to the earliest flow start, and re-arm
+        // unconditionally until the run ends (completion or hard stop). A
+        // fixed phase keeps the tick event sequence identical across shard
+        // counts — demand-armed ticks would re-phase after idle gaps, which
+        // is invisible sequentially but breaks the canonical-order contract
+        // between replicas.
+        if let Some(t0) = flows.iter().map(|f| f.spec.start).min() {
+            let base = n_flows + cfg.faults.len() as u64;
+            let t = &cfg.transport;
+            q.insert_message(
+                t0 + SimDuration(t.dcqcn.alpha_timer_ps),
+                shard_key(0, RANK_CONSTRUCT, base),
+                Event::AlphaTick,
+            );
+            q.insert_message(
+                t0 + SimDuration(t.dcqcn.increase_timer_ps),
+                shard_key(0, RANK_CONSTRUCT, base + 1),
+                Event::IncreaseTick,
+            );
         }
 
         let cfg_trace_flows = cfg.trace_flows.clone();
@@ -438,8 +597,13 @@ impl Simulation {
             paused_port_time: SimDuration(0),
             warn_scratch: Vec::new(),
             host_kick_scratch: vec![false; n_hosts as usize],
-            alpha_tick_armed: false,
-            increase_tick_armed: false,
+            shard_id,
+            n_shards: n_shards.max(1),
+            ent_cnt: vec![0; n_ranks],
+            cur_key: 0,
+            last_completion: None,
+            journal: Vec::new(),
+            outbox: (0..n_shards.max(1)).map(|_| Vec::new()).collect(),
             cnm_ttl: 4,
             host_rate_scale_permille: 1000,
             timeseries: FabricTimeSeries::default(),
@@ -497,19 +661,147 @@ impl Simulation {
         (sw, &mut self.arena)
     }
 
+    // ------------------------------------------------------------------
+    // Shard partition, canonical keys and the effect journal
+    // ------------------------------------------------------------------
+
+    /// The ownership partition: shard 0 owns every spine; leaves (with
+    /// their hosts) spread evenly over shards `1..n`. Host↔leaf traffic is
+    /// therefore always shard-local — only leaf↔spine wires (data frames
+    /// and PFC) cross shards, and both carry at least one link propagation
+    /// delay, which is exactly the window the driver synchronizes on.
+    fn shard_for(topo: &Topology, n_leaves: u32, n_shards: u16, node: Node) -> u16 {
+        if n_shards <= 1 {
+            return 0;
+        }
+        let leaf_shards = (n_shards - 1) as u64;
+        let of_leaf = |l: u32| 1 + (l as u64 * leaf_shards / n_leaves as u64) as u16;
+        match node {
+            Node::Spine(_) => 0,
+            Node::Leaf(l) => of_leaf(l),
+            Node::Host(h) => of_leaf(topo.leaf_of_host(h)),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, node: Node) -> u16 {
+        Self::shard_for(&self.topo, self.cfg.topo.n_leaves, self.n_shards, node)
+    }
+
+    #[inline]
+    fn owns(&self, node: Node) -> bool {
+        self.shard_of(node) == self.shard_id
+    }
+
+    #[inline]
+    fn owns_flow(&self, i: usize) -> bool {
+        self.owns(Node::Host(self.flows[i].spec.src_host))
+    }
+
+    /// Canonical rank of a host (see `RANK_CONSTRUCT` for the layout).
+    #[inline]
+    fn rank_host(&self, h: u32) -> u16 {
+        2 + h as u16
+    }
+
+    /// Canonical rank of any fabric entity.
+    #[inline]
+    fn rank_node(&self, node: Node) -> u16 {
+        let n_hosts = self.topo.n_hosts() as u16;
+        match node {
+            Node::Host(h) => 2 + h as u16,
+            Node::Leaf(l) => 2 + n_hosts + l as u16,
+            Node::Spine(s) => 2 + n_hosts + self.cfg.topo.n_leaves as u16 + s as u16,
+        }
+    }
+
+    /// Schedule a shard-local event under `rank`'s canonical key.
+    fn sched(&mut self, rank: u16, at: SimTime, ev: Event) {
+        let cnt = self.ent_cnt[rank as usize];
+        self.ent_cnt[rank as usize] = cnt + 1;
+        let key = shard_key(self.q.now().as_ps(), rank, cnt);
+        self.q.insert_message(at, key, ev);
+    }
+
+    /// Schedule an event that crosses a wire toward `peer`: inserted
+    /// locally if this shard owns the peer, else queued in the outbox for
+    /// barrier delivery. The key derivation is identical either way — the
+    /// delivery route never affects the canonical merge order.
+    fn sched_wire(&mut self, rank: u16, peer: Node, at: SimTime, ev: Event) {
+        let cnt = self.ent_cnt[rank as usize];
+        self.ent_cnt[rank as usize] = cnt + 1;
+        let key = shard_key(self.q.now().as_ps(), rank, cnt);
+        let dst = self.shard_of(peer);
+        if dst == self.shard_id {
+            self.q.insert_message(at, key, ev);
+        } else {
+            self.outbox[dst as usize].push(WireMsg { at, key, ev });
+        }
+    }
+
+    /// Record an output-visible effect of the current event (see
+    /// [`JEffect`] for why sharded runs defer these to the barrier fold).
+    fn jot(&mut self, e: JEffect) {
+        if self.n_shards > 1 {
+            self.journal.push((self.q.now().as_ps(), self.cur_key, e));
+        } else {
+            self.apply_effect(e);
+        }
+    }
+
+    fn apply_effect(&mut self, e: JEffect) {
+        match e {
+            JEffect::Pause { id, port } => {
+                self.counters.pause_frames += 1;
+                *self.pfc_pauses_by_port.entry((id, port)).or_insert(0) += 1;
+            }
+            JEffect::Resume => self.counters.resume_frames += 1,
+            JEffect::CnmGen(n) => self.counters.cnm_generated += n,
+            JEffect::CnmRelay => self.counters.cnm_relayed += 1,
+            JEffect::Recirc { flow } => {
+                self.counters.recirculations += 1;
+                self.flows[flow as usize].recirculations += 1;
+            }
+            JEffect::SwitchPkt => self.counters.switch_packets += 1,
+            JEffect::BufferDrop => self.counters.buffer_drops += 1,
+            JEffect::EcnMark => self.counters.ecn_marks += 1,
+            JEffect::PausedDwell(d) => self.paused_port_time += d,
+            JEffect::RlbStats { re, fw, fo } => {
+                self.counters.reroutes += re;
+                self.counters.forwards_unwarned += fw;
+                self.counters.recirculation_budget_exhausted += fo;
+            }
+            JEffect::Fault => self.counters.faults_applied += 1,
+        }
+    }
+
+    /// Apply journaled effects up to `limit` (inclusive in the canonical
+    /// `(time, key)` order) and discard the rest; `None` applies all.
+    /// Non-final windows fold with `None` — every entry precedes the
+    /// completion point by construction, since completion happens in the
+    /// final window.
+    pub(crate) fn fold_journal(&mut self, limit: Option<(u64, u128)>) {
+        let journal = std::mem::take(&mut self.journal);
+        for (t, key, e) in journal {
+            if limit.is_none_or(|lim| (t, key) <= lim) {
+                self.apply_effect(e);
+            }
+        }
+    }
+
     /// Run to completion: stops when all flows finished, the event queue
     /// drains, or the hard-stop horizon passes.
     pub fn run(mut self) -> RunResult {
         if let Some(m) = &self.cfg.monitor {
             let at = SimTime(m.interval.as_ps());
-            self.q.schedule(at, Event::MonitorTick);
+            self.sched(RANK_GLOBAL, at, Event::MonitorTick);
         }
         let hard_stop = self.cfg.hard_stop;
         let mut events: u64 = 0;
         // Wall-clock is recorded for the perf telemetry only; nothing in
         // the simulation reads it, so replays stay bit-exact.
         let wall_start = std::time::Instant::now(); // lint:allow(wall-clock)
-        while let Some((t, ev)) = self.q.pop() {
+        while let Some((t, key, ev)) = self.q.pop() {
             if t > hard_stop {
                 #[cfg(feature = "audit")]
                 {
@@ -521,10 +813,12 @@ impl Simulation {
                 }
                 break;
             }
+            self.cur_key = key;
             events += 1;
             self.dispatch(ev);
             #[cfg(feature = "audit")]
-            if self.cfg.audit_every_events > 0 && events % self.cfg.audit_every_events == 0 {
+            if self.cfg.audit_every_events > 0 && events.is_multiple_of(self.cfg.audit_every_events)
+            {
                 self.audit_sweep(false);
             }
             if self.completed == self.flows.len() {
@@ -534,14 +828,15 @@ impl Simulation {
         #[cfg(feature = "audit")]
         self.audit_sweep(true);
         let wall = wall_start.elapsed();
-        self.counters.paused_port_time_ps = self.paused_port_time.as_ps();
+        self.finalize_counters();
+        let eps = if wall.as_secs_f64() > 0.0 {
+            events as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
         let perf = PerfStats {
             wall_ms: wall.as_secs_f64() * 1e3,
-            events_per_sec: if wall.as_secs_f64() > 0.0 {
-                events as f64 / wall.as_secs_f64()
-            } else {
-                0.0
-            },
+            events_per_sec: eps,
             decisions: self.perf_decisions,
             snapshot_reuses: self.snap_reuses,
             snapshot_refreshes: self.snap_refreshes,
@@ -550,25 +845,16 @@ impl Simulation {
             snapshot_dirty_sig_spines: self.snap_dirty_sig_spines,
             arena_high_water: self.arena.high_water() as u64,
             arena_capacity: self.arena.capacity() as u64,
+            shards: 1,
+            window_advances: 0,
+            cross_shard_messages: 0,
+            barrier_stalls: 0,
+            aggregate_events_per_sec: eps,
         };
         let end_time = self.now();
         let groups: Vec<u64> = self.flows.iter().map(|f| f.spec.group).collect();
         let records = self.build_records();
-        let mut counters = self.counters.clone();
-        for sw in self.leaves.iter().chain(self.spines.iter()) {
-            counters.buffer_drops += sw.drops;
-            counters.ecn_marks += sw.ecn_marks;
-        }
-        // Fold the per-leaf RLB decision counters in.
-        for sw in &self.leaves {
-            if let Some(ls) = &sw.leaf {
-                if let LbInstance::Rlb(rlb) = &ls.lb {
-                    counters.reroutes += rlb.stats.reroutes;
-                    counters.forwards_unwarned += rlb.stats.forwards_unwarned;
-                    counters.recirculation_budget_exhausted += rlb.stats.forced_out;
-                }
-            }
-        }
+        let counters = self.counters.clone();
         RunResult {
             records,
             counters,
@@ -710,7 +996,8 @@ impl Simulation {
             max_egress_queue_bytes: max_q,
         });
         if let Some(m) = &self.cfg.monitor {
-            self.q.schedule(now + m.interval, Event::MonitorTick);
+            let at = now + m.interval;
+            self.sched(RANK_GLOBAL, at, Event::MonitorTick);
         }
     }
 
@@ -720,26 +1007,17 @@ impl Simulation {
 
     fn on_flow_start(&mut self, f: u32) {
         let now = self.now();
-        {
+        let host = {
             let fs = &mut self.flows[f as usize];
             fs.started = true;
             fs.next_eligible_ps = now.as_ps();
-        }
-        // Arm the global DCQCN ticks on the first active flow; while armed
-        // they service every active flow, so later starts are free.
-        let t = &self.cfg.transport;
-        let (alpha_ps, inc_ps, rto_ps) =
-            (t.dcqcn.alpha_timer_ps, t.dcqcn.increase_timer_ps, t.rto_ps);
-        if !self.alpha_tick_armed {
-            self.alpha_tick_armed = true;
-            self.q.schedule(now + SimDuration(alpha_ps), Event::AlphaTick);
-        }
-        if !self.increase_tick_armed {
-            self.increase_tick_armed = true;
-            self.q.schedule(now + SimDuration(inc_ps), Event::IncreaseTick);
-        }
-        self.q.schedule(now + SimDuration(rto_ps), Event::RtoCheck(f));
-        let host = self.flows[f as usize].spec.src_host;
+            fs.spec.src_host
+        };
+        // The global DCQCN ticks are construction-armed (see `new_shard`);
+        // only the per-flow RTO probe starts here.
+        let rto = SimDuration(self.cfg.transport.rto_ps);
+        let rank = self.rank_host(host);
+        self.sched(rank, now + rto, Event::RtoCheck(f));
         self.host_try_send(host);
     }
 
@@ -802,7 +1080,8 @@ impl Simulation {
                 .is_none_or(|w| d < w || w < now.as_ps());
             if sooner {
                 self.hosts[h as usize].wake_at = Some(d);
-                self.q.schedule(SimTime(d), Event::HostWake(h));
+                let rank = self.rank_host(h);
+                self.sched(rank, SimTime(d), Event::HostWake(h));
             }
         }
     }
@@ -821,8 +1100,13 @@ impl Simulation {
         let ser = tx_delay(pkt.size_bytes as u64, rate);
         let prop = SimDuration(self.cfg.topo.link_delay_ps);
         let (peer, peer_port) = self.topo.peer(Node::Host(h), 0);
-        self.q.schedule(now + ser, Event::HostEgressDone(h));
-        self.q.schedule(
+        let rank = self.rank_host(h);
+        self.sched(rank, now + ser, Event::HostEgressDone(h));
+        // A host's peer is always its own leaf — same shard — but the wire
+        // path keeps the key bookkeeping uniform.
+        self.sched_wire(
+            rank,
+            peer,
             now + ser + prop,
             Event::LinkArrive {
                 node: peer,
@@ -836,6 +1120,14 @@ impl Simulation {
     /// and kick the NIC.
     fn host_send_control(&mut self, h: u32, pkt: Packet) {
         debug_assert!(pkt.kind.is_control());
+        // Same bypass as `enqueue_or_launch`: a quiet NIC would pop this
+        // frame right back out (control is pause-immune), so the arena
+        // round trip is pure overhead. ACKs take this path once per
+        // delivered data packet.
+        if !self.hosts[h as usize].busy && self.host_ctrl[h as usize].is_empty() {
+            self.host_transmit(h, pkt);
+            return;
+        }
         let now_ps = self.now().as_ps();
         let hdl = self
             .arena
@@ -942,6 +1234,9 @@ impl Simulation {
                 if fs.reliability.sender_complete() && fs.finish_ps.is_none() {
                     fs.finish_ps = Some(now.as_ps());
                     self.completed += 1;
+                    // Completions arrive in canonical order, so the last
+                    // write is this shard's maximum completion point.
+                    self.last_completion = Some((now.as_ps(), self.cur_key));
                     let flow_id = pkt.flow as u64;
                     let src_leaf = self.topo.leaf_of_host(h) as usize;
                     if let Some(leaf) = self.leaves[src_leaf].leaf.as_mut() {
@@ -993,10 +1288,7 @@ impl Simulation {
         }
         if pkt.kind.is_control() {
             let out = self.route_control(node, &pkt);
-            let now_ps = self.now().as_ps();
-            let (sw, arena) = self.switch_and_arena(node);
-            sw.enqueue(arena, out, pkt, now_ps);
-            self.try_transmit(node, out);
+            self.enqueue_or_launch(node, out, pkt);
             return;
         }
         // Data plane: buffer admission + PFC accounting.
@@ -1010,11 +1302,12 @@ impl Simulation {
         if !admitted {
             #[cfg(feature = "audit")]
             self.auditor.on_dropped();
+            self.jot(JEffect::BufferDrop);
             return; // tail-dropped; go-back-N will recover end-to-end
         }
         self.apply_pfc_action(node, action);
         pkt.ingress_port = in_port;
-        self.counters.switch_packets += 1;
+        self.jot(JEffect::SwitchPkt);
         self.maybe_activate_sampler(node, in_port);
         self.route_data(node, in_port, pkt);
     }
@@ -1068,16 +1361,42 @@ impl Simulation {
                         pkt_bytes: pkt.size_bytes,
                         paths: visible,
                     };
+                    let mut rlb_delta = (0u64, 0u64, 0u64);
                     let decision = {
                         let leaf = self.leaves[l as usize].leaf.as_mut().expect("leaf state");
                         match &mut leaf.lb {
                             LbInstance::Vanilla(lb) => Decision::Forward(lb.select(&ctx)),
-                            LbInstance::Rlb(rlb) => rlb.decide(&ctx, pkt.recircs as u32),
+                            LbInstance::Rlb(rlb) => {
+                                // Snapshot the decision counters around the
+                                // call: the deltas go through the effect
+                                // journal so the sharded final-window trim
+                                // sees them (the `Rlb` accumulator itself
+                                // is physical state).
+                                let b = (
+                                    rlb.stats.reroutes,
+                                    rlb.stats.forwards_unwarned,
+                                    rlb.stats.forced_out,
+                                );
+                                let d = rlb.decide(&ctx, pkt.recircs as u32);
+                                rlb_delta = (
+                                    rlb.stats.reroutes - b.0,
+                                    rlb.stats.forwards_unwarned - b.1,
+                                    rlb.stats.forced_out - b.2,
+                                );
+                                d
+                            }
                         }
                     };
                     // Hand the snapshot back *without* clearing: it stays
                     // valid for later decisions until its stamps go stale.
                     self.path_snaps[snap_idx].paths = paths;
+                    if rlb_delta != (0, 0, 0) {
+                        self.jot(JEffect::RlbStats {
+                            re: rlb_delta.0,
+                            fw: rlb_delta.1,
+                            fo: rlb_delta.2,
+                        });
+                    }
                     match decision {
                         Decision::Forward(s) => {
                             pkt.path = s as u8;
@@ -1100,8 +1419,7 @@ impl Simulation {
                                     TraceEvent::Recirculated,
                                 );
                             }
-                            self.counters.recirculations += 1;
-                            self.flows[pkt.flow as usize].recirculations += 1;
+                            self.jot(JEffect::Recirc { flow: pkt.flow });
                             pkt.recircs = pkt.recircs.saturating_add(1);
                             let t_rc = self
                                 .cfg
@@ -1109,7 +1427,9 @@ impl Simulation {
                                 .as_ref()
                                 .map(|r| r.t_rc_ps)
                                 .expect("recirculation without RLB");
-                            self.q.schedule(
+                            let rank = self.rank_node(node);
+                            self.sched(
+                                rank,
                                 now + SimDuration(t_rc),
                                 Event::Recirculate { node, pkt },
                             );
@@ -1129,6 +1449,7 @@ impl Simulation {
                 let action = sw.release_data(pkt.ingress_port, pkt.size_bytes);
                 #[cfg(feature = "audit")]
                 self.auditor.on_dropped();
+                self.jot(JEffect::BufferDrop);
                 self.apply_pfc_action(node, action);
                 return;
             }
@@ -1136,9 +1457,10 @@ impl Simulation {
             sw.ecn_mark(out)
         };
         pkt.ecn |= mark;
-        let (sw, arena) = self.switch_and_arena(node);
-        sw.enqueue(arena, out, pkt, now.as_ps());
-        self.try_transmit(node, out);
+        if mark {
+            self.jot(JEffect::EcnMark);
+        }
+        self.enqueue_or_launch(node, out, pkt);
     }
 
     fn on_recirculate(&mut self, node: Node, pkt: Packet) {
@@ -1284,7 +1606,6 @@ impl Simulation {
     }
 
     fn try_transmit(&mut self, node: Node, port: u16) {
-        let now = self.now();
         let (pkt, rate) = {
             let (sw, arena) = self.switch_and_arena(node);
             if sw.egress[port as usize].busy {
@@ -1298,12 +1619,45 @@ impl Simulation {
                 None => return,
             }
         };
+        self.launch(node, port, pkt, rate);
+    }
+
+    /// Hand `pkt` to `node`'s egress `port`. When the port would transmit
+    /// it immediately ([`Switch::pass_through`]) the packet launches
+    /// directly, skipping the arena alloc/free round trip a queue visit
+    /// would cost — the dominant case on quiet ports, and the bulk of the
+    /// per-hop indirection overhead the arena introduced. Otherwise it
+    /// parks on the class queue and the transmitter is kicked. Both paths
+    /// produce identical simulation state and events: the bypass fires
+    /// exactly when `enqueue` + `next_to_transmit` would hand the same
+    /// packet straight back with every queue counter netting to zero.
+    fn enqueue_or_launch(&mut self, node: Node, port: u16, pkt: Packet) {
+        let now_ps = self.now().as_ps();
+        let control = pkt.kind.is_control();
+        let (sw, arena) = self.switch_and_arena(node);
+        if sw.pass_through(port, control) {
+            sw.egress[port as usize].busy = true;
+            let rate = sw.egress[port as usize].rate_bps;
+            self.launch(node, port, pkt, rate);
+            return;
+        }
+        sw.enqueue(arena, port, pkt, now_ps);
+        self.try_transmit(node, port);
+    }
+
+    /// Schedule serialization and wire arrival for `pkt` leaving `node` on
+    /// a `port` the caller already marked busy.
+    fn launch(&mut self, node: Node, port: u16, pkt: Packet, rate: u64) {
+        let now = self.now();
         let ser = tx_delay(pkt.size_bytes as u64, rate);
         let prop = SimDuration(self.cfg.topo.link_delay_ps);
         let release = (!pkt.kind.is_control()).then_some((pkt.ingress_port, pkt.size_bytes));
         let (peer, peer_port) = self.topo.peer(node, port);
-        self.q.schedule(now + ser, Event::EgressDone { node, port, release });
-        self.q.schedule(
+        let rank = self.rank_node(node);
+        self.sched(rank, now + ser, Event::EgressDone { node, port, release });
+        self.sched_wire(
+            rank,
+            peer,
             now + ser + prop,
             Event::LinkArrive {
                 node: peer,
@@ -1331,28 +1685,23 @@ impl Simulation {
         let prop = SimDuration(self.cfg.topo.link_delay_ps);
         let (port, pause) = match action {
             PfcAction::None => return,
-            PfcAction::SendPause(p) => {
-                self.counters.pause_frames += 1;
-                let id = match node {
-                    Node::Leaf(l) => (false, l),
-                    Node::Spine(s) => (true, s),
-                    Node::Host(_) => unreachable!("hosts do not emit PFC"),
-                };
-                *self.pfc_pauses_by_port.entry((id, p)).or_insert(0) += 1;
-                (p, true)
-            }
-            PfcAction::SendResume(p) => {
-                self.counters.resume_frames += 1;
-                (p, false)
-            }
+            PfcAction::SendPause(p) => (p, true),
+            PfcAction::SendResume(p) => (p, false),
         };
+        let id = match node {
+            Node::Leaf(l) => (false, l),
+            Node::Spine(s) => (true, s),
+            Node::Host(_) => unreachable!("hosts do not emit PFC"),
+        };
+        if pause {
+            self.jot(JEffect::Pause { id, port });
+        } else {
+            self.jot(JEffect::Resume);
+        }
         #[cfg(feature = "audit")]
         {
-            let id = match node {
-                Node::Leaf(l) => (false, l),
-                Node::Spine(s) => (true, s),
-                Node::Host(_) => unreachable!("hosts do not emit PFC"),
-            };
+            // The auditor ledger tracks *physical* frames, paired against
+            // live pause flags — it stays immediate even in sharded mode.
             if pause {
                 self.auditor.on_pause_sent(id, port);
             } else {
@@ -1360,7 +1709,10 @@ impl Simulation {
             }
         }
         let (peer, peer_port) = self.topo.peer(node, port);
-        self.q.schedule(
+        let rank = self.rank_node(node);
+        self.sched_wire(
+            rank,
+            peer,
             now + prop,
             Event::PauseFrame {
                 node: peer,
@@ -1380,8 +1732,9 @@ impl Simulation {
                     host.paused_since_ps = now_ps;
                 } else if !pause && host.paused {
                     host.paused = false;
-                    self.paused_port_time +=
+                    let dwell =
                         SimTime(now_ps).saturating_since(SimTime(host.paused_since_ps));
+                    self.jot(JEffect::PausedDwell(dwell));
                     self.host_try_send(h);
                 }
             }
@@ -1402,8 +1755,8 @@ impl Simulation {
                 };
                 if !pause && was_paused {
                     let since = self.switch_mut(node).egress[port as usize].paused_since_ps;
-                    self.paused_port_time +=
-                        SimTime(now_ps).saturating_since(SimTime(since));
+                    let dwell = SimTime(now_ps).saturating_since(SimTime(since));
+                    self.jot(JEffect::PausedDwell(dwell));
                     self.try_transmit(node, port);
                 }
             }
@@ -1444,7 +1797,11 @@ impl Simulation {
                 self.host_rate_scale_permille = permille;
             }
         }
-        self.counters.faults_applied += 1;
+        // Fault events are replicated on every shard; exactly one replica
+        // (shard 0 — also the sequential engine) reports the application.
+        if self.shard_id == 0 {
+            self.jot(JEffect::Fault);
+        }
         self.fault_epoch = self.fault_epoch.wrapping_add(1);
     }
 
@@ -1460,8 +1817,14 @@ impl Simulation {
         let ssw = &mut self.spines[spine as usize];
         ssw.egress[leaf as usize].link_down = down;
         if !down {
-            self.try_transmit(Node::Leaf(leaf), up_port as u16);
-            self.try_transmit(Node::Spine(spine), leaf as u16);
+            // The state flip above is replicated everywhere; the transmit
+            // kicks schedule real events, so only the owner issues them.
+            if self.owns(Node::Leaf(leaf)) {
+                self.try_transmit(Node::Leaf(leaf), up_port as u16);
+            }
+            if self.owns(Node::Spine(spine)) {
+                self.try_transmit(Node::Spine(spine), leaf as u16);
+            }
         }
     }
 
@@ -1506,8 +1869,8 @@ impl Simulation {
             arm
         };
         if arm {
-            self.q
-                .schedule(now + SimDuration(dt), Event::PredictorTick(node));
+            let rank = self.rank_node(node);
+            self.sched(rank, now + SimDuration(dt), Event::PredictorTick(node));
         }
     }
 
@@ -1546,14 +1909,16 @@ impl Simulation {
             sw.sampler_tick_armed = any_active;
             any_active
         };
-        self.counters.cnm_generated += warns.len() as u64;
+        if !warns.is_empty() {
+            self.jot(JEffect::CnmGen(warns.len() as u64));
+        }
         for &port in &warns {
             self.send_cnm_upstream(node, port, encode_node(node), port, self.cnm_ttl);
         }
         self.warn_scratch = warns;
         if keep_ticking {
-            self.q
-                .schedule(now + SimDuration(dt), Event::PredictorTick(node));
+            let rank = self.rank_node(node);
+            self.sched(rank, now + SimDuration(dt), Event::PredictorTick(node));
         }
     }
 
@@ -1591,10 +1956,7 @@ impl Simulation {
             cum: 0,
             nack: false,
         };
-        let now_ps = self.now().as_ps();
-        let (sw, arena) = self.switch_and_arena(node);
-        sw.enqueue(arena, out_port, pkt, now_ps);
-        self.try_transmit(node, out_port);
+        self.enqueue_or_launch(node, out_port, pkt);
     }
 
     /// CNM arrived at `node` on `in_port`.
@@ -1666,7 +2028,7 @@ impl Simulation {
                         .collect()
                 };
                 for p in targets {
-                    self.counters.cnm_relayed += 1;
+                    self.jot(JEffect::CnmRelay);
                     self.send_cnm_upstream(node, p as u16, origin_node, origin_port, ttl - 1);
                 }
             }
@@ -1678,44 +2040,47 @@ impl Simulation {
     // Transport timers
     // ------------------------------------------------------------------
 
-    /// Global alpha-update tick: one event services every active flow.
-    /// Disarms itself when no flow is active; `on_flow_start` re-arms.
+    /// Global alpha-update tick: one *replicated* event per shard services
+    /// every active flow this shard owns (all of them, sequentially), then
+    /// re-arms unconditionally — the fixed tick phase is part of the
+    /// canonical-order contract between shard replicas (see `new_shard`).
+    /// The run still terminates: completion and the hard stop end the
+    /// event loop, not queue drain.
     fn on_alpha_tick(&mut self) {
-        let mut any_active = false;
-        for fs in self.flows.iter_mut() {
+        for i in 0..self.flows.len() {
+            if !self.owns_flow(i) {
+                continue;
+            }
+            let fs = &mut self.flows[i];
             if fs.started && !fs.is_complete() {
                 fs.dcqcn.on_alpha_timer();
-                any_active = true;
             }
         }
-        if !any_active {
-            self.alpha_tick_armed = false;
-            return;
-        }
         let dt = SimDuration(self.cfg.transport.dcqcn.alpha_timer_ps);
-        self.q.schedule(self.now() + dt, Event::AlphaTick);
+        let at = self.now() + dt;
+        self.sched(RANK_GLOBAL, at, Event::AlphaTick);
     }
 
     /// Global rate-increase tick. Hosts are kicked at most once per tick
     /// (ascending host id — deterministic), however many of their flows
-    /// just got a rate increase.
+    /// just got a rate increase. Owned flows only; re-arms like
+    /// `on_alpha_tick`.
     fn on_increase_tick(&mut self) {
-        let mut any_active = false;
         self.host_kick_scratch.fill(false);
-        for fs in self.flows.iter_mut() {
+        for i in 0..self.flows.len() {
+            if !self.owns_flow(i) {
+                continue;
+            }
+            let fs = &mut self.flows[i];
             if fs.started && !fs.is_complete() {
                 fs.dcqcn.on_increase_timer();
                 // Rate may have increased — the flow could be eligible sooner.
                 self.host_kick_scratch[fs.spec.src_host as usize] = true;
-                any_active = true;
             }
         }
-        if !any_active {
-            self.increase_tick_armed = false;
-            return;
-        }
         let dt = SimDuration(self.cfg.transport.dcqcn.increase_timer_ps);
-        self.q.schedule(self.now() + dt, Event::IncreaseTick);
+        let at = self.now() + dt;
+        self.sched(RANK_GLOBAL, at, Event::IncreaseTick);
         for h in 0..self.host_kick_scratch.len() {
             if self.host_kick_scratch[h] {
                 self.host_try_send(h as u32);
@@ -1743,9 +2108,164 @@ impl Simulation {
             self.host_try_send(host);
         }
         let dt = SimDuration(self.cfg.transport.rto_ps);
-        self.q.schedule(self.now() + dt, Event::RtoCheck(f));
+        let at = self.now() + dt;
+        let rank = self.rank_host(host);
+        self.sched(rank, at, Event::RtoCheck(f));
     }
 
+    // ------------------------------------------------------------------
+    // Sharded-driver surface (see `crate::shard`)
+    // ------------------------------------------------------------------
+
+    /// Dispatch every pending event strictly before `end`; returns the
+    /// number dispatched. The bounded-window driver's inner loop: safe
+    /// because every cross-shard effect carries at least one link
+    /// propagation delay, so nothing produced elsewhere during this window
+    /// can land before `end`.
+    pub(crate) fn dispatch_window(&mut self, end: SimTime) -> u64 {
+        let mut dispatched = 0;
+        while let Some((_t, key, ev)) = self.q.pop_before(end) {
+            self.cur_key = key;
+            dispatched += 1;
+            self.dispatch(ev);
+        }
+        dispatched
+    }
+
+    pub(crate) fn take_outbox(&mut self, dst: u16) -> Vec<WireMsg> {
+        std::mem::take(&mut self.outbox[dst as usize])
+    }
+
+    pub(crate) fn deliver(&mut self, msgs: Vec<WireMsg>) {
+        for m in msgs {
+            self.q.insert_message(m.at, m.key, m.ev);
+        }
+    }
+
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    pub(crate) fn local_now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    pub(crate) fn completed_flows(&self) -> usize {
+        self.completed
+    }
+
+    pub(crate) fn last_completion(&self) -> Option<(u64, u128)> {
+        self.last_completion
+    }
+
+    /// `(src shard, dst shard)` owning flow `i`'s endpoints — the record
+    /// merge takes sender-side fields from the former, receiver-side OOO
+    /// fields from the latter.
+    pub(crate) fn flow_endpoint_shards(&self, i: usize) -> (u16, u16) {
+        (
+            self.shard_of(Node::Host(self.flows[i].spec.src_host)),
+            self.shard_of(Node::Host(self.flows[i].spec.dst_host)),
+        )
+    }
+
+    pub(crate) fn finalize_counters(&mut self) {
+        self.counters.paused_port_time_ps = self.paused_port_time.as_ps();
+    }
+
+    /// Tear one shard replica down into the pieces the driver merges.
+    pub(crate) fn into_parts(mut self) -> ShardParts {
+        self.finalize_counters();
+        let records = self.build_records();
+        ShardParts {
+            records,
+            counters: self.counters,
+            ood_histogram: self.ood_histogram,
+            groups: self.flows.iter().map(|f| f.spec.group).collect(),
+            pfc_pauses_by_port: self.pfc_pauses_by_port,
+            perf_decisions: self.perf_decisions,
+            snap_reuses: self.snap_reuses,
+            snap_refreshes: self.snap_refreshes,
+            snap_rebuilds: self.snap_rebuilds,
+            snap_dirty_q_spines: self.snap_dirty_q_spines,
+            snap_dirty_sig_spines: self.snap_dirty_sig_spines,
+            arena_high_water: self.arena.high_water() as u64,
+            arena_capacity: self.arena.capacity() as u64,
+        }
+    }
+
+    /// Shard-local slice of the audit sweep: arena/queue balance, buffer
+    /// occupancy (and PFC pairing when `drain`) for this shard's switches,
+    /// plus this shard's edge counters. Returns
+    /// `(injected, arrived, dropped, in_fabric)` where `in_fabric` counts
+    /// buffered + in-flight + recirculating data packets held here; the
+    /// driver sums partials across shards and asserts the global
+    /// conservation balance every window (a shard alone sees only its side
+    /// of each flow, so the per-shard books never balance).
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_partial(&mut self, drain: bool) -> (u64, u64, u64, u64) {
+        let (mut in_flight, mut recirc) = self.audit_horizon_in_flight;
+        for ev in self.q.iter_events() {
+            let (f, r) = Self::audit_event_packets(ev);
+            in_flight += f;
+            recirc += r;
+        }
+        let queued: usize = self
+            .leaves
+            .iter()
+            .chain(self.spines.iter())
+            .flat_map(|sw| sw.egress.iter())
+            .map(|ep| ep.data_q.len() + ep.ctrl_q.len())
+            .sum::<usize>()
+            + self.host_ctrl.iter().map(|q| q.len()).sum::<usize>();
+        assert_eq!(
+            queued,
+            self.arena.len(),
+            "packet arena out of balance on shard {}: {} handles queued, {} slots live",
+            self.shard_id,
+            queued,
+            self.arena.len(),
+        );
+        let leaves = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(i, sw)| ((false, i as u32), sw));
+        let spines = self
+            .spines
+            .iter()
+            .enumerate()
+            .map(|(i, sw)| ((true, i as u32), sw));
+        let buffered = self.auditor.check_partial(
+            self.q.now().as_ps(),
+            leaves.chain(spines),
+            &self.arena,
+            drain,
+        );
+        (
+            self.auditor.injected,
+            self.auditor.arrived,
+            self.auditor.dropped,
+            buffered + in_flight + recirc,
+        )
+    }
+}
+
+/// Everything the sharded driver needs from one consumed shard replica to
+/// assemble the merged [`RunResult`].
+pub(crate) struct ShardParts {
+    pub records: Vec<FlowRecord>,
+    pub counters: FabricCounters,
+    pub ood_histogram: LogHistogram,
+    pub groups: Vec<u64>,
+    pub pfc_pauses_by_port: std::collections::BTreeMap<((bool, u32), u16), u64>,
+    pub perf_decisions: u64,
+    pub snap_reuses: u64,
+    pub snap_refreshes: u64,
+    pub snap_rebuilds: u64,
+    pub snap_dirty_q_spines: u64,
+    pub snap_dirty_sig_spines: u64,
+    pub arena_high_water: u64,
+    pub arena_capacity: u64,
 }
 
 #[cfg(test)]

@@ -240,6 +240,365 @@ fn workload_from(name: &str) -> Option<Workload> {
 const FAULT_HELP: &str =
     "known fault kinds: link_down, link_up, link_rate, spine_down, spine_up, load_scale, flap";
 
+/// One documented key of a spec section: the machine-readable grammar
+/// reference. `cargo xtask spec-doc` renders [`SPEC_REFERENCE`] into
+/// EXPERIMENTS.md, and the parser's own unknown-key diagnostics quote the
+/// same tables (see [`known_keys`]) — so the rendered reference, the
+/// diagnostics and the accepted grammar cannot drift apart. Unit tests
+/// additionally pin every documented default to the canonical output of
+/// [`ScenarioSpec::to_spec_text`] and every documented key to a parse.
+pub struct KeyDoc {
+    pub key: &'static str,
+    /// Value shape shown in the reference ("string", "bool", integer
+    /// units, or an enum listing).
+    pub value: &'static str,
+    /// Default rendered by the canonical writer, `_`-separated for
+    /// readability (the parser accepts separators); `None` = required.
+    pub default: Option<&'static str>,
+    /// A valid example value (used by the documented-keys-parse test).
+    pub example: &'static str,
+    pub doc: &'static str,
+}
+
+/// One section (`[name]`) or repeatable table (`[[name]]`) of the grammar.
+pub struct SectionDoc {
+    pub header: &'static str,
+    pub repeatable: bool,
+    pub doc: &'static str,
+    pub keys: &'static [KeyDoc],
+    /// Extra bullets rendered after the key table (per-fault-kind field
+    /// requirements and similar cross-key rules).
+    pub notes: &'static [&'static str],
+}
+
+/// The complete scenario-spec grammar, one entry per section. Order is
+/// the canonical section order of [`ScenarioSpec::to_spec_text`].
+pub const SPEC_REFERENCE: &[SectionDoc] = &[
+    SectionDoc {
+        header: "[scenario]",
+        repeatable: false,
+        doc: "Run identity: the scheme under test, optional RLB wrapping, \
+              seed and flow-arrival horizon.",
+        keys: &[
+            KeyDoc {
+                key: "name",
+                value: "string",
+                default: Some("\"\""),
+                example: "\"outage\"",
+                doc: "Display / job label (`scenario` when empty).",
+            },
+            KeyDoc {
+                key: "scheme",
+                value: "`ecmp` \\| `presto` \\| `letflow` \\| `hermes` \\| `drill` \\| `conga`",
+                default: Some("\"drill\""),
+                example: "\"letflow\"",
+                doc: "Load-balancing scheme deployed at the leaves.",
+            },
+            KeyDoc {
+                key: "rlb",
+                value: "bool",
+                default: Some("false"),
+                example: "true",
+                doc: "Wrap the scheme in RLB (predictor + Algorithm 1, \
+                      default parameters).",
+            },
+            KeyDoc {
+                key: "seed",
+                value: "integer",
+                default: Some("1"),
+                example: "7",
+                doc: "Master seed; `--seeds N` replicates by offsetting it.",
+            },
+            KeyDoc {
+                key: "horizon_ps",
+                value: "integer, ps",
+                default: Some("4_000_000_000"),
+                example: "800_000_000",
+                doc: "Flow arrivals stop here (the run's hard stop is 25× \
+                      this, extended to outlast any incast burst train).",
+            },
+        ],
+        notes: &[],
+    },
+    SectionDoc {
+        header: "[topology]",
+        repeatable: false,
+        doc: "Leaf–spine fabric dimensions; defaults mirror \
+              `TopoConfig::default` (the Quick-scale fabric).",
+        keys: &[
+            KeyDoc {
+                key: "n_leaves",
+                value: "integer",
+                default: Some("4"),
+                example: "12",
+                doc: "Leaf switches.",
+            },
+            KeyDoc {
+                key: "n_spines",
+                value: "integer",
+                default: Some("4"),
+                example: "12",
+                doc: "Spine switches (= uplinks per leaf).",
+            },
+            KeyDoc {
+                key: "hosts_per_leaf",
+                value: "integer",
+                default: Some("8"),
+                example: "24",
+                doc: "Hosts under each leaf.",
+            },
+            KeyDoc {
+                key: "link_rate_bps",
+                value: "integer, bits/s",
+                default: Some("40_000_000_000"),
+                example: "100_000_000_000",
+                doc: "Leaf–spine link rate.",
+            },
+            KeyDoc {
+                key: "host_link_rate_bps",
+                value: "integer, bits/s",
+                default: Some("40_000_000_000"),
+                example: "25_000_000_000",
+                doc: "Host NIC line rate.",
+            },
+            KeyDoc {
+                key: "link_delay_ps",
+                value: "integer, ps",
+                default: Some("2_000_000"),
+                example: "1_000_000",
+                doc: "One-way propagation delay of every link.",
+            },
+        ],
+        notes: &[],
+    },
+    SectionDoc {
+        header: "[incast]",
+        repeatable: false,
+        doc: "Optional: layer a §4.3 fan-in burst train over the workload \
+              mix (which then plays the role of background traffic). Flows \
+              replay the programmatic `incast_scenario` bit-exactly for \
+              the same seed.",
+        keys: &[
+            KeyDoc {
+                key: "degree",
+                value: "integer ≥ 1",
+                default: Some("15"),
+                example: "31",
+                doc: "Responding servers per request (the fan-in degree).",
+            },
+            KeyDoc {
+                key: "total_response_bytes",
+                value: "integer, bytes",
+                default: Some("4_000_000"),
+                example: "1_000_000",
+                doc: "Burst size across all responders for one request.",
+            },
+            KeyDoc {
+                key: "requests",
+                value: "integer",
+                default: Some("8"),
+                example: "16",
+                doc: "Number of incast requests issued.",
+            },
+            KeyDoc {
+                key: "request_interval_ps",
+                value: "integer, ps",
+                default: Some("1_000_000_000"),
+                example: "500_000_000",
+                doc: "Gap between successive requests.",
+            },
+        ],
+        notes: &[],
+    },
+    SectionDoc {
+        header: "[[workload]]",
+        repeatable: true,
+        doc: "Traffic mix: each entry generates Poisson arrivals of a \
+              named workload CDF independently and the flows merge. One \
+              Web-Search entry at 500‰ if no table is given.",
+        keys: &[
+            KeyDoc {
+                key: "kind",
+                value: "`web_server` \\| `cache_follower` \\| `web_search` \\| `data_mining`",
+                default: Some("\"web_search\""),
+                example: "\"data_mining\"",
+                doc: "Flow-size CDF.",
+            },
+            KeyDoc {
+                key: "load_permille",
+                value: "integer, ‰",
+                default: Some("500"),
+                example: "300",
+                doc: "Offered load as ‰ of the healthy core capacity; \
+                      entries add up, so two 300‰ entries offer 60% load \
+                      as a mix.",
+            },
+        ],
+        notes: &[],
+    },
+    SectionDoc {
+        header: "[[fault]]",
+        repeatable: true,
+        doc: "Fault timeline, any order — the builder sorts by time. \
+              Downed links freeze their queues without dropping (lossless \
+              fabric), so PFC backpressure does the signalling.",
+        keys: &[
+            KeyDoc {
+                key: "kind",
+                value: "`link_down` \\| `link_up` \\| `link_rate` \\| `spine_down` \\| \
+                        `spine_up` \\| `load_scale` \\| `flap`",
+                default: None,
+                example: "\"link_down\"",
+                doc: "What fails (or recovers); see the field requirements \
+                      below.",
+            },
+            KeyDoc {
+                key: "at_ps",
+                value: "integer, ps",
+                default: None,
+                example: "100_000_000",
+                doc: "When the fault fires (every kind).",
+            },
+            KeyDoc {
+                key: "leaf",
+                value: "integer",
+                default: None,
+                example: "0",
+                doc: "Leaf end of the affected link.",
+            },
+            KeyDoc {
+                key: "spine",
+                value: "integer",
+                default: None,
+                example: "1",
+                doc: "Spine end of the affected link (or the failed spine).",
+            },
+            KeyDoc {
+                key: "rate_bps",
+                value: "integer, bits/s",
+                default: None,
+                example: "10_000_000_000",
+                doc: "New link rate for `link_rate`.",
+            },
+            KeyDoc {
+                key: "permille",
+                value: "integer, ‰",
+                default: None,
+                example: "500",
+                doc: "Send-rate multiplier for `load_scale` (1000 = nominal).",
+            },
+            KeyDoc {
+                key: "down_ps",
+                value: "integer, ps",
+                default: None,
+                example: "50_000_000",
+                doc: "Outage length per `flap` cycle.",
+            },
+            KeyDoc {
+                key: "up_ps",
+                value: "integer, ps",
+                default: None,
+                example: "50_000_000",
+                doc: "Recovery length per `flap` cycle.",
+            },
+            KeyDoc {
+                key: "cycles",
+                value: "integer",
+                default: None,
+                example: "3",
+                doc: "Down/up pairs a `flap` expands into.",
+            },
+        ],
+        notes: &[
+            "`link_down` / `link_up` need `at_ps`, `leaf`, `spine` — take \
+             one leaf–spine link down / bring it back.",
+            "`link_rate` needs `at_ps`, `leaf`, `spine`, `rate_bps` — \
+             degrade (or restore) one link's rate mid-run.",
+            "`spine_down` / `spine_up` need `at_ps`, `spine` — fail / \
+             recover every link of one spine at once.",
+            "`load_scale` needs `at_ps`, `permille` — scale every host's \
+             send rate.",
+            "`flap` needs `at_ps`, `leaf`, `spine`, `down_ps`, `up_ps`, \
+             `cycles` — expands into that many down/up pairs.",
+        ],
+    },
+    SectionDoc {
+        header: "[[load]]",
+        repeatable: true,
+        doc: "A piecewise-constant offered-load multiplier applied to flow \
+              inter-arrival gaps (a load *curve*, distinct from \
+              `load_scale` which throttles in-flight serialization).",
+        keys: &[
+            KeyDoc {
+                key: "at_ps",
+                value: "integer, ps",
+                default: None,
+                example: "0",
+                doc: "Point start time.",
+            },
+            KeyDoc {
+                key: "permille",
+                value: "integer, ‰",
+                default: None,
+                example: "800",
+                doc: "Load multiplier from this point on (1000 = the \
+                      workloads' nominal offered load).",
+            },
+        ],
+        notes: &[],
+    },
+];
+
+/// Comma-joined key list for `header`, quoted by the parser's unknown-key
+/// diagnostics — the hints and the generated reference share one source.
+fn known_keys(header: &'static str) -> String {
+    SPEC_REFERENCE
+        .iter()
+        .find(|s| s.header == header)
+        .unwrap_or_else(|| panic!("{header} missing from SPEC_REFERENCE"))
+        .keys
+        .iter()
+        .map(|k| k.key)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Render [`SPEC_REFERENCE`] as the markdown block `cargo xtask spec-doc`
+/// splices into EXPERIMENTS.md between its `spec-doc` markers.
+pub fn render_spec_reference() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let w = &mut out;
+    let _ = writeln!(
+        w,
+        "Reference — every section and key the parser accepts, generated\n\
+         from the parser's own key tables (`rlb_net::spec::SPEC_REFERENCE`)\n\
+         by `cargo xtask spec-doc`. Edit the tables, not this block —\n\
+         `cargo xtask spec-doc --check` fails CI when the two drift."
+    );
+    for s in SPEC_REFERENCE {
+        let rep = if s.repeatable { " — repeatable" } else { "" };
+        let _ = writeln!(w, "\n### `{}`{rep}\n", s.header);
+        let _ = writeln!(w, "{}\n", s.doc);
+        let _ = writeln!(w, "| key | value | default | meaning |");
+        let _ = writeln!(w, "|---|---|---|---|");
+        for k in s.keys {
+            let default = match k.default {
+                Some(d) => format!("`{d}`"),
+                None => "required".to_string(),
+            };
+            let _ = writeln!(w, "| `{}` | {} | {} | {} |", k.key, k.value, default, k.doc);
+        }
+        if !s.notes.is_empty() {
+            let _ = writeln!(w);
+            for n in s.notes {
+                let _ = writeln!(w, "- {n}");
+            }
+        }
+    }
+    out
+}
+
 impl ScenarioSpec {
     /// Job/display label.
     pub fn label(&self) -> String {
@@ -587,7 +946,7 @@ impl<'a> Parser<'a> {
                                 key,
                                 key_col,
                                 "[[workload]]",
-                                "kind, load_permille",
+                                &known_keys("[[workload]]"),
                             ))
                         }
                     }
@@ -610,7 +969,7 @@ impl<'a> Parser<'a> {
                                 key,
                                 key_col,
                                 "[[fault]]",
-                                "kind, at_ps, leaf, spine, rate_bps, permille, down_ps, up_ps, cycles",
+                                &known_keys("[[fault]]"),
                             ))
                         }
                     }
@@ -648,7 +1007,7 @@ impl<'a> Parser<'a> {
                                 key,
                                 key_col,
                                 "[[load]]",
-                                "at_ps, permille",
+                                &known_keys("[[load]]"),
                             ))
                         }
                     }
@@ -761,7 +1120,7 @@ impl<'a> Parser<'a> {
                     key,
                     key_col,
                     "[scenario]",
-                    "name, scheme, rlb, seed, horizon_ps",
+                    &known_keys("[scenario]"),
                 ))
             }
         }
@@ -789,8 +1148,7 @@ impl<'a> Parser<'a> {
                     key,
                     key_col,
                     "[topology]",
-                    "n_leaves, n_spines, hosts_per_leaf, link_rate_bps, \
-                     host_link_rate_bps, link_delay_ps",
+                    &known_keys("[topology]"),
                 ))
             }
         }
@@ -829,7 +1187,7 @@ impl<'a> Parser<'a> {
                     key,
                     key_col,
                     "[incast]",
-                    "degree, total_response_bytes, requests, request_interval_ps",
+                    &known_keys("[incast]"),
                 ))
             }
         }
@@ -1073,6 +1431,111 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The grammar reference is the parser: every documented key must be
+    /// accepted by its section (a rejected key would come back as an
+    /// `unknown key` diagnostic), and vice versa the unknown-key hints are
+    /// generated from the same tables (pinned by the snapshot tests).
+    mod reference {
+        use super::super::*;
+
+        #[test]
+        fn every_documented_key_parses_in_its_section() {
+            for s in SPEC_REFERENCE {
+                for k in s.keys {
+                    // Tables need their section header; `[[fault]]`/
+                    // `[[load]]` specs may fail *finalization* (missing
+                    // sibling fields) but never key recognition.
+                    let text = format!("{}\n{} = {}\n", s.header, k.key, k.example);
+                    let text = if s.header == "[scenario]" {
+                        text
+                    } else {
+                        format!("[scenario]\nseed = 1\n\n{text}")
+                    };
+                    match ScenarioSpec::parse(&text) {
+                        Ok(_) => {}
+                        Err(e) => assert!(
+                            !e.msg.contains("unknown key"),
+                            "{} key `{}` is documented but rejected: {}",
+                            s.header,
+                            k.key,
+                            e.msg
+                        ),
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn documented_defaults_match_the_canonical_writer() {
+            // The canonical text of a default spec (with the optional
+            // incast section opened) must contain every documented
+            // default verbatim — so a changed `Default` impl fails here
+            // until the reference table is updated.
+            let spec = ScenarioSpec {
+                incast: Some(IncastSpec::default()),
+                ..ScenarioSpec::default()
+            };
+            let text = spec.to_spec_text();
+            for s in SPEC_REFERENCE {
+                for k in s.keys {
+                    if let Some(d) = k.default {
+                        // `_` separators are for readability in integers
+                        // only; string defaults keep theirs.
+                        let canon = if d.starts_with('"') {
+                            d.to_string()
+                        } else {
+                            d.replace('_', "")
+                        };
+                        let line = format!("{} = {canon}", k.key);
+                        assert!(
+                            text.contains(&line),
+                            "{} documents `{}` defaulting to `{}`, but the \
+                             canonical default spec has no line `{line}`",
+                            s.header,
+                            k.key,
+                            d
+                        );
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn fault_notes_cover_every_kind() {
+            let notes = SPEC_REFERENCE
+                .iter()
+                .find(|s| s.header == "[[fault]]")
+                .expect("fault section documented")
+                .notes
+                .join("\n");
+            for kind in [
+                "link_down", "link_up", "link_rate", "spine_down", "spine_up",
+                "load_scale", "flap",
+            ] {
+                assert!(
+                    notes.contains(kind),
+                    "fault kind `{kind}` missing from the [[fault]] notes"
+                );
+            }
+        }
+
+        #[test]
+        fn rendered_reference_names_every_section_and_key() {
+            let md = render_spec_reference();
+            for s in SPEC_REFERENCE {
+                assert!(md.contains(s.header), "{} missing", s.header);
+                for k in s.keys {
+                    assert!(
+                        md.contains(&format!("| `{}` |", k.key)),
+                        "{} `{}` missing a table row",
+                        s.header,
+                        k.key
+                    );
+                }
+            }
+        }
+    }
 
     const EXAMPLE: &str = r#"
 # A failure-sweep example.

@@ -1,0 +1,215 @@
+//! Sharded-vs-sequential equivalence: `run_with_shards(n)` must be
+//! byte-identical to the sequential engine for every shard count — the
+//! non-negotiable contract of the bounded-window parallel driver.
+//!
+//! Events are keyed by `(sched_ps, entity rank, per-entity counter)` in
+//! both engines, so each shard's dispatch order is the restriction of the
+//! sequential order to the entities it owns and the merged observables
+//! agree exactly — not statistically, not approximately. The digest below
+//! covers every output the figure pipeline consumes *except*
+//! `events_processed`, which legitimately differs (global DCQCN ticks are
+//! replicated per shard and the final window may dispatch a few events
+//! past the last completion; stable figure output excludes it for the
+//! same reason).
+//!
+//! Under `--features audit` the sharded driver additionally asserts global
+//! packet conservation from the per-shard cuts at every window barrier, so
+//! running this suite with the feature enabled exercises those checks too.
+
+use proptest::prelude::*;
+use rlb_core::RlbConfig;
+use rlb_engine::{SimDuration, SimTime};
+use rlb_lb::Scheme;
+use rlb_net::scenario::{FailSweepConfig, MotivationConfig, Scenario};
+use rlb_net::{RunResult, SimConfig, TopoConfig};
+use rlb_workloads::FlowSpec;
+
+type PortKey = ((bool, u32), u16);
+
+/// One flow record flattened for comparison: `(flow_id, src, dst, size,
+/// packets, start, finish, ooo, max_ood, sent, naks, recircs)`.
+type RecordRow = (u64, u32, u32, u64, u32, u64, Option<u64>, u64, u64, u64, u64, u64);
+
+/// Everything observable except `events_processed` (see module docs).
+#[derive(Debug, PartialEq)]
+struct Digest {
+    records: Vec<RecordRow>,
+    groups: Vec<u64>,
+    counters: Vec<u64>,
+    pfc_pauses_by_port: Vec<(PortKey, u64)>,
+    ood: (u64, u64, u64),
+    end_ps: u64,
+}
+
+fn digest(res: &RunResult) -> Digest {
+    let c = &res.counters;
+    Digest {
+        records: res
+            .records
+            .iter()
+            .map(|r| {
+                (
+                    r.flow_id,
+                    r.src_host,
+                    r.dst_host,
+                    r.size_bytes,
+                    r.total_packets,
+                    r.start_ps,
+                    r.finish_ps,
+                    r.ooo_packets,
+                    r.max_ood,
+                    r.packets_sent,
+                    r.naks,
+                    r.recirculations,
+                )
+            })
+            .collect(),
+        groups: res.groups.clone(),
+        counters: vec![
+            c.pause_frames,
+            c.resume_frames,
+            c.paused_port_time_ps,
+            c.cnm_generated,
+            c.cnm_relayed,
+            c.recirculations,
+            c.reroutes,
+            c.forwards_unwarned,
+            c.recirculation_budget_exhausted,
+            c.buffer_drops,
+            c.switch_packets,
+            c.ecn_marks,
+            c.faults_applied,
+        ],
+        pfc_pauses_by_port: res
+            .pfc_pauses_by_port
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect(),
+        ood: (
+            res.ood_histogram.count(),
+            res.ood_histogram.max(),
+            res.ood_histogram.mean().to_bits(),
+        ),
+        end_ps: res.end_time.as_ps(),
+    }
+}
+
+fn pfc_heavy_scenario(seed: u64) -> MotivationConfig {
+    MotivationConfig {
+        n_paths: 12,
+        n_background: 12,
+        n_burst_senders: 2,
+        n_burst_senders_dst: 2,
+        flows_per_burst: 40,
+        bursts: 3,
+        affected_paths: 4,
+        congested_flow_bytes: 20_000_000,
+        background_load: 0.25,
+        horizon: SimTime::from_ms(2),
+        seed,
+    }
+}
+
+/// PFC storms, CNM relays and recirculation crossing the leaf↔spine shard
+/// boundary all round: every shard count must land on the same bytes.
+#[test]
+fn motivation_scenario_matches_across_shard_counts() {
+    let mk = || {
+        Scenario::motivation(
+            &pfc_heavy_scenario(42),
+            Scheme::Drill,
+            Some(RlbConfig::default()),
+        )
+    };
+    let seq = digest(&mk().run());
+    assert!(seq.counters[0] > 0, "scenario must exercise PFC");
+    for shards in [2u16, 3, 5, 13] {
+        let sharded = digest(&mk().run_with_shards(shards));
+        assert_eq!(
+            seq, sharded,
+            "--shards {shards} diverged from the sequential engine"
+        );
+    }
+}
+
+/// Mid-run link faults are replicated into every shard's construction
+/// set and their transmit kicks are owner-filtered; the faulted run must
+/// still merge to the sequential bytes.
+#[test]
+fn faulted_runs_match_sequential() {
+    let mk = || {
+        let fc = FailSweepConfig {
+            n_failures: 3,
+            load: 0.4,
+            horizon: SimTime::from_us(400),
+            fail_at: SimTime::from_us(50),
+            fail_stagger: SimDuration::from_us(30),
+            fail_duration: SimDuration::from_us(150),
+            seed: 13,
+            ..FailSweepConfig::default()
+        };
+        Scenario::fail_sweep(&fc, Scheme::LetFlow, Some(RlbConfig::default()))
+    };
+    let seq = digest(&mk().run());
+    assert_eq!(seq.counters[12], 6, "3 downs + 3 recoveries must fire");
+    for shards in [2u16, 4] {
+        assert_eq!(
+            seq,
+            digest(&mk().run_with_shards(shards)),
+            "faulted --shards {shards} diverged"
+        );
+    }
+}
+
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Ecmp),
+        Just(Scheme::Presto),
+        Just(Scheme::LetFlow),
+        Just(Scheme::Hermes),
+        Just(Scheme::Drill),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, // each case is 1 sequential + 2 sharded full simulations
+        .. ProptestConfig::default()
+    })]
+
+    /// Differential property: arbitrary small workloads across schemes,
+    /// RLB on/off, seeds and shard counts produce identical digests.
+    #[test]
+    fn sharded_equals_sequential(
+        scheme in any_scheme(),
+        use_rlb in any::<bool>(),
+        seed in 0u64..1000,
+        shards in 2u16..=4,
+        flow_specs in proptest::collection::vec(
+            (0u32..12, 0u32..12, 1u64..200_000, 0u64..500_000),
+            1..12
+        ),
+    ) {
+        let cfg = SimConfig {
+            topo: TopoConfig {
+                n_leaves: 3,
+                n_spines: 2,
+                hosts_per_leaf: 4,
+                ..TopoConfig::default()
+            },
+            scheme,
+            rlb: use_rlb.then(RlbConfig::default),
+            seed,
+            hard_stop: SimTime::from_ms(200),
+            ..SimConfig::default()
+        };
+        let flows: Vec<FlowSpec> = flow_specs
+            .into_iter()
+            .filter(|(s, d, _, _)| s != d)
+            .map(|(s, d, size, start_ps)| FlowSpec::new(SimTime(start_ps), s, d, size))
+            .collect();
+        let seq = digest(&Scenario::new(cfg.clone(), flows.clone()).run());
+        let par = digest(&Scenario::new(cfg, flows).run_with_shards(shards));
+        prop_assert_eq!(seq, par, "--shards {} diverged", shards);
+    }
+}

@@ -6,3 +6,4 @@
 //! drive the same code the binary runs.
 
 pub mod lint;
+pub mod specdoc;

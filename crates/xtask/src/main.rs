@@ -11,11 +11,15 @@
 //! cargo xtask lint --json [report.json]    # machine-readable report
 //! cargo xtask lint --list-rules            # one line per rule
 //! cargo xtask lint --explain <rule>        # rationale + bad/good example
+//! cargo xtask spec-doc                     # regenerate the scenario-spec
+//!                                          # reference in EXPERIMENTS.md
+//! cargo xtask spec-doc --check             # CI: fail if the doc drifted
 //! ```
 //!
-//! See [`lint`] for the framework (lexer, scope tree, rules, baseline).
+//! See [`lint`] for the framework (lexer, scope tree, rules, baseline)
+//! and [`xtask::specdoc`] for the doc generator.
 
-use xtask::lint;
+use xtask::{lint, specdoc};
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,10 +28,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_cli(&args[1..]),
+        Some("spec-doc") => specdoc::cli(&workspace_root(), &args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask lint [--deny] [--baseline <path>] [--update-baseline] \
-                 [--json [<path>]] [--list-rules] [--explain <rule>]"
+                 [--json [<path>]] [--list-rules] [--explain <rule>]\n       \
+                 cargo xtask spec-doc [--check]"
             );
             ExitCode::from(2)
         }
